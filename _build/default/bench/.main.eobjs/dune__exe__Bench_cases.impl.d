@@ -1,0 +1,1 @@
+bench/bench_cases.ml: Bench_common Indaas Indaas_pia Indaas_sia Indaas_util List Printf String

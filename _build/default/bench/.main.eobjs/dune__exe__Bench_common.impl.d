@@ -1,0 +1,1 @@
+bench/bench_common.ml: Indaas_util Printf String

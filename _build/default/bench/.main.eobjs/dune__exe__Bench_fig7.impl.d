@@ -1,0 +1,1 @@
+bench/bench_fig7.ml: Bench_common Indaas_depdata Indaas_faultgraph Indaas_sia Indaas_topology Indaas_util List Printf

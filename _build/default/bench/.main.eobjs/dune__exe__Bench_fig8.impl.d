@@ -1,0 +1,1 @@
+bench/bench_fig8.ml: Array Bench_common Indaas_crypto Indaas_depdata Indaas_pia Indaas_smpc Indaas_util List

@@ -1,0 +1,1 @@
+bench/bench_fig9.ml: Array Bench_common Fun Indaas_crypto Indaas_depdata Indaas_faultgraph Indaas_pia Indaas_util List Printf

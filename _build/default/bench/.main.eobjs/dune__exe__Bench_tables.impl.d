@@ -1,0 +1,1 @@
+bench/bench_tables.ml: Bench_common Char Indaas Indaas_depdata Indaas_pia Indaas_topology Indaas_util List Printf String

@@ -1,0 +1,1 @@
+bench/bench_validation.ml: Array Bench_common Indaas Indaas_depdata Indaas_faultgraph Indaas_pia Indaas_sia Indaas_util List Printf String

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_ablation Bench_cases Bench_common Bench_fig7 Bench_fig8 Bench_fig9 Bench_kernels Bench_tables Bench_validation Indaas_util List Printf Sys

@@ -1,0 +1,240 @@
+(* Ablations of the design choices DESIGN.md calls out:
+
+   1. sampling witness shrinking (on/off) — what the per-round
+      minimization buys in usable minimal RGs;
+   2. sampling failure bias — why Figure 7 runs at 0.8;
+   3. MinHash signature size m — accuracy vs traffic (§4.2.4);
+   4. P-SOP primitive choice — paper's MD5 + commutative RSA vs the
+      default SHA-256 + Pohlig–Hellman;
+   5. top-event probability method — inclusion-exclusion vs BDD vs
+      Monte-Carlo. *)
+
+open Bench_common
+module Fattree = Indaas_topology.Fattree
+module Depdb = Indaas_depdata.Depdb
+module Catalog = Indaas_depdata.Catalog
+module Builder = Indaas_sia.Builder
+module Graph = Indaas_faultgraph.Graph
+module Cutset = Indaas_faultgraph.Cutset
+module Sampling = Indaas_faultgraph.Sampling
+module Psop = Indaas_pia.Psop
+module Jaccard = Indaas_pia.Jaccard
+module Componentset = Indaas_pia.Componentset
+module Transport = Indaas_pia.Transport
+module Commutative = Indaas_crypto.Commutative
+module Digest = Indaas_crypto.Digest
+module Prng = Indaas_util.Prng
+module Table = Indaas_util.Table
+
+let fat_graph ~k ~r =
+  let t = Fattree.create ~k in
+  let servers = List.init r (fun i -> i * (Fattree.server_count t / r)) in
+  let db = Depdb.create () in
+  List.iter
+    (fun s -> Depdb.add_all db (Fattree.network_records t ~server:s))
+    servers;
+  Builder.build db (Builder.spec (List.map (Fattree.server_name t) servers))
+
+let shrink_ablation () =
+  subheading "1. witness shrinking (k=12 fat tree, 2-way, 191 minimal RGs)";
+  let graph = fat_graph ~k:12 ~r:2 in
+  let exact = Cutset.minimal_risk_groups graph in
+  let rounds = scale ~quick:2_000 ~standard:20_000 ~full:200_000 in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      [ "variant"; "distinct RGs recorded"; "of which minimal"; "time" ]
+  in
+  List.iter
+    (fun shrink ->
+      let config = { Sampling.default_config with Sampling.rounds; Sampling.shrink } in
+      let result, elapsed =
+        Indaas_util.Timing.time (fun () ->
+            Sampling.run ~config (Prng.of_int 0xAB1) graph)
+      in
+      let minimal =
+        List.filter
+          (fun rg -> Cutset.is_minimal_risk_group graph (Array.to_list rg))
+          result.Sampling.risk_groups
+      in
+      Table.add_row t
+        [
+          (if shrink then "shrink on (default)" else "raw witnesses");
+          string_of_int (List.length result.Sampling.risk_groups);
+          Printf.sprintf "%d (%.0f%% of all)" (List.length minimal)
+            (100.
+            *. Sampling.detection_ratio ~found:result.Sampling.risk_groups
+                 ~all:exact);
+          seconds elapsed;
+        ])
+    [ true; false ];
+  Table.print t;
+  note "shrinking costs extra evaluations per positive round but every";
+  note "recorded RG is actionable (minimal); raw witnesses are mostly";
+  note "non-minimal supersets"
+
+let bias_ablation () =
+  subheading "2. sampling failure bias (k=16 fat tree, 2-way, coverage at fixed rounds)";
+  let graph = fat_graph ~k:16 ~r:2 in
+  let exact = Cutset.minimal_risk_groups graph in
+  let rounds = scale ~quick:10_000 ~standard:100_000 ~full:1_000_000 in
+  let t =
+    Table.create
+      ~aligns:[ Table.Right; Table.Right; Table.Right ]
+      [ "failure bias"; "% minimal RGs detected"; "time" ]
+  in
+  List.iter
+    (fun bias ->
+      let points =
+        Sampling.coverage ~failure_bias:bias (Prng.of_int 0xAB2) graph
+          ~targets:exact ~checkpoints:[ rounds ]
+      in
+      let p = List.hd points in
+      Table.add_row t
+        [
+          Printf.sprintf "%.1f" bias;
+          Printf.sprintf "%.1f%%" (100. *. p.Sampling.fraction);
+          seconds p.Sampling.seconds;
+        ])
+    [ 0.3; 0.5; 0.7; 0.8; 0.9 ];
+  Table.print t;
+  note "fair coins (0.5, the naive reading of the paper) cannot cover the";
+  note "large minimal RGs of deep fault graphs; 0.8 is the sweet spot used";
+  note "by the Figure 7 bench (0.9 covers everything but wastes witnesses)"
+
+let minhash_ablation () =
+  subheading "3. MinHash m: accuracy vs traffic (Riak vs MongoDB closures, J=0.5185)";
+  let rng = Prng.of_int 0xAB3 in
+  let params = Commutative.params_pohlig_hellman ~bits:256 rng in
+  let a = Catalog.packages Catalog.Riak and b = Catalog.packages Catalog.MongoDB in
+  let exact =
+    Jaccard.pairwise (Componentset.of_list a) (Componentset.of_list b)
+  in
+  let full = Psop.run ~params rng [| a; b |] in
+  let t =
+    Table.create
+      ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "m"; "estimate"; "abs error"; "traffic" ]
+  in
+  Table.add_row t
+    [
+      "exact P-SOP";
+      Printf.sprintf "%.4f" full.Psop.jaccard;
+      "0";
+      bytes (Transport.total_bytes full.Psop.transport);
+    ];
+  List.iter
+    (fun m ->
+      let r = Psop.run_minhash ~params ~m rng [| a; b |] in
+      Table.add_row t
+        [
+          string_of_int m;
+          Printf.sprintf "%.4f" r.Psop.jaccard;
+          Printf.sprintf "%.4f" (abs_float (r.Psop.jaccard -. exact));
+          bytes (Transport.total_bytes r.Psop.transport);
+        ])
+    (scale ~quick:[ 64; 256 ] ~standard:[ 64; 128; 256; 512; 1024 ]
+       ~full:[ 64; 128; 256; 512; 1024; 4096 ]);
+  Table.print t;
+  note "error shrinks ~1/sqrt(m) while traffic grows linearly in m; MinHash";
+  note "pays off when component sets are much larger than m (here the sets";
+  note "have 53/70 elements, so compression only wins below m ~ 128)"
+
+let primitive_ablation () =
+  subheading "4. P-SOP primitives: SHA-256 + Pohlig-Hellman vs the paper's MD5 + SRA";
+  let n = scale ~quick:100 ~standard:500 ~full:2000 in
+  let rng = Prng.of_int 0xAB4 in
+  let datasets =
+    Catalog.synthetic_sets rng ~providers:2 ~elements:n ~shared_fraction:0.3
+  in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right ]
+      [ "instantiation (256-bit)"; "compute"; "traffic" ]
+  in
+  let cases =
+    [
+      ("SHA-256 + Pohlig-Hellman (default)",
+       Commutative.params_pohlig_hellman ~bits:256 rng, Digest.SHA256);
+      ("MD5 + SRA commutative RSA (paper §6.1.2)",
+       Commutative.params_sra ~bits:256 rng, Digest.MD5);
+    ]
+  in
+  List.iter
+    (fun (label, params, hash) ->
+      let r, elapsed =
+        Indaas_util.Timing.time (fun () -> Psop.run ~params ~hash rng datasets)
+      in
+      Table.add_row t
+        [ label; seconds elapsed; bytes (Transport.total_bytes r.Psop.transport) ])
+    cases;
+  Table.print t;
+  note "the cost is dominated by modular exponentiation either way; the";
+  note "hash choice is immaterial and the schemes are interchangeable"
+
+(* Three ways to compute Pr(top event): inclusion-exclusion over
+   minimal RGs (exponential in the RG count), BDD weighted counting
+   (linear in the diagram), Monte-Carlo (error ~ 1/sqrt rounds). *)
+let probability_ablation () =
+  subheading "5. top-event probability: inclusion-exclusion vs BDD vs Monte-Carlo";
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "workload"; "#minimal RGs"; "incl-excl"; "BDD (exact)"; "Monte-Carlo" ]
+  in
+  let mc_rounds = scale ~quick:50_000 ~standard:200_000 ~full:1_000_000 in
+  List.iter
+    (fun (label, k, r) ->
+      let topo = Fattree.create ~k in
+      let servers = List.init r (fun i -> i * (Fattree.server_count topo / r)) in
+      let db = Depdb.create () in
+      List.iter
+        (fun s -> Depdb.add_all db (Fattree.network_records topo ~server:s))
+        servers;
+      let graph =
+        Builder.build db
+          (Builder.spec
+             ~component_probability:(Builder.uniform_probability 0.02)
+             (List.map (Fattree.server_name topo) servers))
+      in
+      let rgs = Cutset.minimal_risk_groups graph in
+      let ie_cell =
+        if List.length rgs <= 20 then begin
+          let v, elapsed =
+            Indaas_util.Timing.time (fun () ->
+                Indaas_faultgraph.Probability.top_probability_exact graph ~rgs)
+          in
+          Printf.sprintf "%.3e (%s)" v (seconds elapsed)
+        end
+        else Printf.sprintf "2^%d terms: infeasible" (List.length rgs)
+      in
+      let bdd_v, bdd_t =
+        Indaas_util.Timing.time (fun () ->
+            Indaas_faultgraph.Bdd.graph_probability graph)
+      in
+      let mc_v, mc_t =
+        Indaas_util.Timing.time (fun () ->
+            Indaas_faultgraph.Probability.top_probability_mc ~rounds:mc_rounds
+              (Prng.of_int 0xAB5) graph)
+      in
+      Table.add_row t
+        [
+          label;
+          string_of_int (List.length rgs);
+          ie_cell;
+          Printf.sprintf "%.3e (%s)" bdd_v (seconds bdd_t);
+          Printf.sprintf "%.3e (%s)" mc_v (seconds mc_t);
+        ])
+    [ ("tiny (k=4, 2-way)", 4, 2); ("k=12, 2-way", 12, 2); ("k=16, 2-way", 16, 2) ];
+  Table.print t;
+  note "inclusion-exclusion dies beyond ~20 minimal RGs; the BDD stays exact";
+  note "and instant; Monte-Carlo needs ~10^6 rounds to resolve rare events"
+
+let run () =
+  heading "Ablations of DESIGN.md choices";
+  shrink_ablation ();
+  bias_ablation ();
+  minhash_ablation ();
+  primitive_ablation ();
+  probability_ablation ()

@@ -1,0 +1,32 @@
+(* Shared helpers for the benchmark harness. *)
+
+module Timing = Indaas_util.Timing
+module Table = Indaas_util.Table
+
+(* Workload scale: "quick" for CI-style smoke runs, "standard" for the
+   default shape-reproducing run, "full" to push closer to paper
+   scale (minutes to hours). Selected with --quick / --full or
+   INDAAS_BENCH_MODE. *)
+type mode = Quick | Standard | Full
+
+let mode = ref Standard
+
+let mode_of_string = function
+  | "quick" -> Some Quick
+  | "standard" -> Some Standard
+  | "full" -> Some Full
+  | _ -> None
+
+let scale ~quick ~standard ~full =
+  match !mode with Quick -> quick | Standard -> standard | Full -> full
+
+let heading title =
+  let bar = String.make (String.length title) '=' in
+  Printf.printf "\n%s\n%s\n" title bar
+
+let subheading title = Printf.printf "\n-- %s --\n" title
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "   %s\n" s) fmt
+
+let seconds = Timing.format_seconds
+let bytes = Timing.format_bytes

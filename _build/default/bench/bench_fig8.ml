@@ -1,0 +1,204 @@
+(* Figure 8: PIA system overheads — P-SOP vs the Kissner–Song (KS)
+   baseline, bandwidth (8a) and computational time (8b), for k = 2, 3,
+   4 providers across growing per-provider dataset sizes.
+
+   Scaled per DESIGN.md substitution 3: P-SOP runs with 256-bit
+   commutative keys, KS with 64-bit Paillier moduli (a concession that
+   *favours* KS; it still loses by orders of magnitude), and dataset
+   sizes are in the hundreds rather than 10^3..10^5. Both protocols'
+   costs are linear in n per element-operation, so the measured series
+   extrapolate directly; the claims that matter — P-SOP's modest,
+   linear cost, and KS's much steeper compute growth — are visible
+   as measured. *)
+
+open Bench_common
+module Catalog = Indaas_depdata.Catalog
+module Psop = Indaas_pia.Psop
+module Ks = Indaas_pia.Ks
+module Transport = Indaas_pia.Transport
+module Commutative = Indaas_crypto.Commutative
+module Gmw = Indaas_smpc.Gmw
+module Garble = Indaas_smpc.Garble
+module Bloompsi = Indaas_pia.Bloompsi
+module Prng = Indaas_util.Prng
+module Table = Indaas_util.Table
+
+let shared_fraction = 0.3
+
+(* The generic-SMPC routes the paper rejects up front (§4.2, Xiao et
+   al.): GMW (one oblivious transfer per AND gate) and Yao garbled
+   circuits (hashes per AND gate, OT only per evaluator input) over
+   the O(n²·ℓ)-AND-gate intersection circuit. Only toy sizes
+   terminate; the growth law is the finding. *)
+let smpc_rows rng =
+  let gmw_sizes = scale ~quick:[ 4; 8 ] ~standard:[ 4; 8; 16; 32 ] ~full:[ 8; 16; 32; 64 ] in
+  let yao_sizes =
+    scale ~quick:[ 8; 16 ] ~standard:[ 16; 32; 64; 128 ] ~full:[ 32; 64; 128; 256 ]
+  in
+  let gmw =
+    List.map
+      (fun n ->
+        let datasets =
+          Catalog.synthetic_sets rng ~providers:2 ~elements:n ~shared_fraction
+        in
+        let (r, _), elapsed =
+          Indaas_util.Timing.time (fun () ->
+              Gmw.intersection_cardinality ~ot_bits:128 ~tag_bits:16 rng
+                datasets.(0) datasets.(1))
+        in
+        (("SMPC-GMW", 2, n), r.Gmw.bytes, r.Gmw.bytes / 2, elapsed))
+      gmw_sizes
+  in
+  let yao =
+    List.map
+      (fun n ->
+        let datasets =
+          Catalog.synthetic_sets rng ~providers:2 ~elements:n ~shared_fraction
+        in
+        let (r, _), elapsed =
+          Indaas_util.Timing.time (fun () ->
+              Garble.intersection_cardinality ~ot_bits:128 ~tag_bits:16 rng
+                datasets.(0) datasets.(1))
+        in
+        (("SMPC-Yao", 2, n), r.Garble.bytes, r.Garble.bytes / 2, elapsed))
+      yao_sizes
+  in
+  gmw @ yao
+
+(* The hashing-only Bloom-filter estimator (Zander et al., the paper's
+   scalable-PSI-CA reference): constant traffic, microsecond compute,
+   estimation error instead of exactness. *)
+let bloom_rows rng sizes =
+  List.map
+    (fun n ->
+      let datasets =
+        Catalog.synthetic_sets rng ~providers:2 ~elements:n ~shared_fraction
+      in
+      let r, elapsed =
+        Indaas_util.Timing.time (fun () -> Bloompsi.run ~bits:65536 rng datasets)
+      in
+      ( ("Bloom", 2, n),
+        Transport.total_bytes r.Bloompsi.transport,
+        Transport.max_party_bytes r.Bloompsi.transport,
+        elapsed ))
+    sizes
+
+let run () =
+  heading "Figure 8: PIA system overheads (P-SOP vs KS vs generic SMPC)";
+  let provider_counts = [ 2; 3; 4 ] in
+  let psop_sizes =
+    scale ~quick:[ 100; 250 ] ~standard:[ 250; 500; 1000; 2000 ]
+      ~full:[ 500; 1000; 2000; 4000; 8000 ]
+  in
+  let ks_sizes =
+    scale ~quick:[ 25; 50 ] ~standard:[ 50; 100; 200 ] ~full:[ 100; 200; 400 ]
+  in
+  let rng = Prng.of_int 0xF18 in
+  let params = Commutative.params_pohlig_hellman ~bits:256 rng in
+
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      [ "protocol"; "k"; "n"; "traffic (total)"; "per party"; "compute" ]
+  in
+  let psop_rows =
+    List.concat_map
+      (fun k ->
+        List.map
+          (fun n ->
+            let datasets =
+              Catalog.synthetic_sets rng ~providers:k ~elements:n ~shared_fraction
+              |> Array.map (fun l -> l)
+            in
+            let r, elapsed =
+              Indaas_util.Timing.time (fun () -> Psop.run ~params rng datasets)
+            in
+            ( ("P-SOP", k, n),
+              Transport.total_bytes r.Psop.transport,
+              Transport.max_party_bytes r.Psop.transport,
+              elapsed ))
+          psop_sizes)
+      provider_counts
+  in
+  let ks_rows =
+    List.concat_map
+      (fun k ->
+        List.map
+          (fun n ->
+            let datasets =
+              Catalog.synthetic_sets rng ~providers:k ~elements:n ~shared_fraction
+            in
+            let r, elapsed =
+              Indaas_util.Timing.time (fun () -> Ks.run ~key_bits:64 rng datasets)
+            in
+            ( ("KS", k, n),
+              Transport.total_bytes r.Ks.transport,
+              Transport.max_party_bytes r.Ks.transport,
+              elapsed ))
+          ks_sizes)
+      provider_counts
+  in
+  let smpc = smpc_rows rng in
+  let bloom = bloom_rows rng psop_sizes in
+  List.iter
+    (fun ((name, k, n), total, per_party, elapsed) ->
+      Table.add_row t
+        [
+          name; string_of_int k; string_of_int n; bytes total; bytes per_party;
+          seconds elapsed;
+        ])
+    (psop_rows @ ks_rows @ smpc @ bloom);
+  Table.print t;
+
+  subheading "shape check (paper: KS bandwidth grows faster with k; KS compute";
+  note "is orders of magnitude above P-SOP and grows superlinearly in n)";
+  let find rows name k n =
+    List.find_map
+      (fun ((name', k', n'), total, _, elapsed) ->
+        if name' = name && k' = k && n' = n then Some (total, elapsed) else None)
+      rows
+  in
+  let psop_n = List.hd (List.rev psop_sizes) in
+  let ks_n = List.hd (List.rev ks_sizes) in
+  (* SMPC growth: time per doubling of n. *)
+  (let gmw_only = List.filter (fun ((nm, _, _), _, _, _) -> nm = "SMPC-GMW") smpc in
+   match gmw_only with
+   | _ :: _ :: _ ->
+       let (_, _, n_last), _, _, t_last = List.nth gmw_only (List.length gmw_only - 1) in
+       let (_, _, n_prev), _, _, t_prev = List.nth gmw_only (List.length gmw_only - 2) in
+       note "SMPC-GMW: %.1fx more compute from n=%d to n=%d -- quadratic in n;"
+         (t_last /. t_prev) n_prev n_last;
+       note "Yao's garbled circuits cut the constant (hashes, not OTs, per AND)";
+       note "but stay quadratic: at the paper's hundreds of components both are";
+       note "hours, which is why INDaaS abandons generic SMPC for P-SOP (4.2)"
+   | _ -> ());
+  (match (find psop_rows "P-SOP" 2 psop_n, find psop_rows "P-SOP" 4 psop_n) with
+  | Some (b2, _), Some (b4, _) ->
+      note "P-SOP traffic k=2 -> k=4 at n=%d: %s -> %s (%.1fx)" psop_n (bytes b2)
+        (bytes b4)
+        (float_of_int b4 /. float_of_int b2)
+  | _ -> ());
+  (match (find ks_rows "KS" 2 ks_n, find ks_rows "KS" 4 ks_n) with
+  | Some (b2, _), Some (b4, _) ->
+      note "KS    traffic k=2 -> k=4 at n=%d: %s -> %s (%.1fx)" ks_n (bytes b2)
+        (bytes b4)
+        (float_of_int b4 /. float_of_int b2)
+  | _ -> ());
+  (match (find psop_rows "P-SOP" 2 ks_n, find ks_rows "KS" 2 ks_n) with
+  | Some (_, tp), Some (_, tk) ->
+      note "compute at k=2, n=%d: P-SOP %s vs KS %s (%.0fx) -- despite KS running"
+        ks_n (seconds tp) (seconds tk) (tk /. tp);
+      note "64-bit keys against P-SOP's 256-bit"
+  | _ ->
+      (* P-SOP series may not include the small KS size; measure it. *)
+      let datasets =
+        Catalog.synthetic_sets rng ~providers:2 ~elements:ks_n ~shared_fraction
+      in
+      let _, tp = Indaas_util.Timing.time (fun () -> Psop.run ~params rng datasets) in
+      (match find ks_rows "KS" 2 ks_n with
+      | Some (_, tk) ->
+          note "compute at k=2, n=%d: P-SOP %s vs KS %s (%.0fx)" ks_n (seconds tp)
+            (seconds tk) (tk /. tp)
+      | None -> ()))

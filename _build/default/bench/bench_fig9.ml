@@ -1,0 +1,161 @@
+(* Figure 9: SIA vs PIA — total computational time to find the most
+   independent 2-way (9a) and 3-way (9b) redundancy deployment among a
+   growing number of cloud providers.
+
+   Four methods, as in the paper:
+     - SIA / minimal RG algorithm   (component-set level, trusted auditor)
+     - SIA / failure sampling       (ditto)
+     - PIA / P-SOP                  (private)
+     - PIA / KS                     (private, baseline)
+
+   Scaled per DESIGN.md substitution 3 (paper: 10,000 components per
+   provider, 10^6 sampling rounds; here smaller sets, fewer rounds,
+   shorter keys — all CLI/env-scalable). The paper's findings are
+   shape statements: PIA/P-SOP costs less than twice SIA/sampling,
+   while PIA/KS and SIA/minimal-RG blow up — all three relations are
+   measured below. *)
+
+open Bench_common
+module Catalog = Indaas_depdata.Catalog
+module Graph = Indaas_faultgraph.Graph
+module Cutset = Indaas_faultgraph.Cutset
+module Sampling = Indaas_faultgraph.Sampling
+module Psop = Indaas_pia.Psop
+module Ks = Indaas_pia.Ks
+module Commutative = Indaas_crypto.Commutative
+module Prng = Indaas_util.Prng
+module Table = Indaas_util.Table
+
+let rec subsets_of_size k l =
+  match (k, l) with
+  | 0, _ -> [ [] ]
+  | _, [] -> []
+  | k, x :: rest ->
+      List.map (fun s -> x :: s) (subsets_of_size (k - 1) rest)
+      @ subsets_of_size k rest
+
+(* SIA at the component-set level: for each candidate deployment,
+   build the AND-of-ORs graph over the providers' flat component sets
+   and determine the risk groups. *)
+let sia_minimal sets combo =
+  let graph =
+    Graph.of_component_sets
+      (List.map (fun i -> (Printf.sprintf "P%d" i, sets.(i))) combo)
+  in
+  ignore (Cutset.minimal_risk_groups ~max_family:5_000_000 graph)
+
+let sia_sampling ~rounds rng sets combo =
+  let graph =
+    Graph.of_component_sets
+      (List.map (fun i -> (Printf.sprintf "P%d" i, sets.(i))) combo)
+  in
+  ignore
+    (Sampling.run
+       ~config:{ Sampling.default_config with Sampling.rounds; Sampling.shrink = false }
+       rng graph)
+
+let pia_psop ~params rng sets combo =
+  ignore (Psop.run ~params rng (Array.of_list (List.map (fun i -> sets.(i)) combo)))
+
+let pia_ks ~key_bits rng sets combo =
+  ignore (Ks.run ~key_bits rng (Array.of_list (List.map (fun i -> sets.(i)) combo)))
+
+let run_way ~way ~provider_counts ~elements ~rounds ~ks_max_providers =
+  let rng = Prng.of_int 0xF19 in
+  (* 128-bit commutative keys here, matching the short KS keys, so
+     the four methods differ by algorithm rather than key size. *)
+  let params = Commutative.params_pohlig_hellman ~bits:128 rng in
+  subheading
+    (Printf.sprintf "%d-way redundancy, %d components per provider (KS capped at %d providers)"
+       way elements ks_max_providers);
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      [ "# providers"; "# deployments"; "SIA minimal"; "SIA sampling";
+        "PIA P-SOP"; "PIA KS" ]
+  in
+  List.iter
+    (fun n_providers ->
+      let sets =
+        Catalog.synthetic_sets rng ~providers:n_providers ~elements
+          ~shared_fraction:0.25
+      in
+      let combos = subsets_of_size way (List.init n_providers Fun.id) in
+      let time_all f = Indaas_util.Timing.time_only (fun () -> List.iter f combos) in
+      let t_min = time_all (sia_minimal sets) in
+      let t_smp = time_all (sia_sampling ~rounds rng sets) in
+      let t_psop = time_all (pia_psop ~params rng sets) in
+      let t_ks =
+        if n_providers <= ks_max_providers then
+          Some (time_all (pia_ks ~key_bits:64 rng sets))
+        else None
+      in
+      Table.add_row t
+        [
+          string_of_int n_providers;
+          string_of_int (List.length combos);
+          seconds t_min;
+          seconds t_smp;
+          seconds t_psop;
+          (match t_ks with Some s -> seconds s | None -> "(skipped)");
+        ])
+    provider_counts;
+  Table.print t
+
+(* At the bench's scaled-down set sizes the exact minimal-RG pass is
+   cheap; the paper ran 10,000-component providers, where its
+   quadratic cut-set product dominates everything. This sweep holds
+   the provider count fixed and grows the component sets to make that
+   growth law measurable: minimal-RG cost rises ~x4 per doubling while
+   sampling and P-SOP stay linear. *)
+let run_scaling_sweep () =
+  subheading "growth in per-provider components (4 providers, all 2-way pairs)";
+  let rng = Prng.of_int 0xF19B in
+  let params = Commutative.params_pohlig_hellman ~bits:128 rng in
+  let sizes = scale ~quick:[ 100; 200 ] ~standard:[ 100; 200; 400; 800 ] ~full:[ 200; 400; 800; 1600; 3200 ] in
+  let rounds = scale ~quick:2_000 ~standard:20_000 ~full:200_000 in
+  let t =
+    Table.create
+      ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "components/provider"; "SIA minimal"; "SIA sampling"; "PIA P-SOP" ]
+  in
+  List.iter
+    (fun elements ->
+      let sets =
+        Catalog.synthetic_sets rng ~providers:4 ~elements ~shared_fraction:0.25
+      in
+      let combos = subsets_of_size 2 (List.init 4 Fun.id) in
+      let time_all f = Indaas_util.Timing.time_only (fun () -> List.iter f combos) in
+      let t_min = time_all (sia_minimal sets) in
+      let t_smp = time_all (sia_sampling ~rounds rng sets) in
+      let t_psop = time_all (pia_psop ~params rng sets) in
+      Table.add_row t
+        [ string_of_int elements; seconds t_min; seconds t_smp; seconds t_psop ])
+    sizes;
+  Table.print t;
+  note "minimal-RG time grows ~4x per component doubling (quadratic cut-set";
+  note "product) while the others grow linearly -- at the paper's 10k";
+  note "components the exact algorithm is the one that cannot keep up"
+
+let run () =
+  heading "Figure 9: SIA vs PIA computational overheads";
+  let provider_counts =
+    scale ~quick:[ 5; 10 ] ~standard:[ 5; 10; 15; 20 ] ~full:[ 5; 10; 15; 20 ]
+  in
+  let elements = scale ~quick:40 ~standard:100 ~full:300 in
+  (* paper: 10^6 rounds on 10k-component providers *)
+  let rounds = scale ~quick:2_000 ~standard:20_000 ~full:200_000 in
+  let ks_max = scale ~quick:5 ~standard:10 ~full:15 in
+  run_way ~way:2 ~provider_counts ~elements ~rounds ~ks_max_providers:ks_max;
+  let provider_counts_3way =
+    scale ~quick:[ 5; 8 ] ~standard:[ 5; 8; 10; 12 ] ~full:[ 5; 10; 15; 20 ]
+  in
+  let ks_max_3way = scale ~quick:5 ~standard:5 ~full:10 in
+  run_way ~way:3 ~provider_counts:provider_counts_3way ~elements ~rounds
+    ~ks_max_providers:ks_max_3way;
+  run_scaling_sweep ();
+  subheading "shape check";
+  note "expected (paper): PIA P-SOP within ~2x of SIA sampling; PIA KS and";
+  note "SIA minimal-RG grow much faster and do not scale"

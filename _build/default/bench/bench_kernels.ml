@@ -1,0 +1,103 @@
+(* Bechamel micro-benchmarks of the computational kernels every
+   experiment is built from: bignum modexp (the unit of P-SOP/KS
+   cost), hashing, fault-graph evaluation (the unit of sampling cost),
+   minimal-cut-set computation, and one P-SOP element operation. *)
+
+open Bechamel
+open Toolkit
+module Nat = Indaas_bignum.Nat
+module Prime = Indaas_bignum.Prime
+module Digest = Indaas_crypto.Digest
+module Commutative = Indaas_crypto.Commutative
+module Paillier = Indaas_crypto.Paillier
+module Oracle = Indaas_crypto.Oracle
+module Graph = Indaas_faultgraph.Graph
+module Cutset = Indaas_faultgraph.Cutset
+module Fattree = Indaas_topology.Fattree
+module Depdb = Indaas_depdata.Depdb
+module Builder = Indaas_sia.Builder
+module Prng = Indaas_util.Prng
+
+let rng = Prng.of_int 0xBE7C
+
+(* Pre-built inputs, shared across iterations. *)
+let modulus_256 = Prime.generate rng ~bits:256
+let base_256 = Nat.random_below rng modulus_256
+let exp_256 = Nat.random_below rng modulus_256
+let modulus_1024 = Prime.oakley_group2
+let exp_1024 = Nat.random_below rng modulus_1024
+
+let comm_params = Commutative.params_pohlig_hellman ~bits:256 rng
+let comm_key = Commutative.generate_key rng comm_params
+let group_element = Oracle.hash_to_group "bench" ~modulus:(Commutative.modulus comm_params)
+
+let paillier = Paillier.generate ~bits:128 rng
+let paillier_ct = Paillier.encrypt rng paillier.Paillier.public (Nat.of_int 41)
+
+let one_kb = String.init 1024 (fun i -> Char.chr (i land 0xFF))
+
+let fat_graph =
+  let t = Fattree.create ~k:16 in
+  let db = Depdb.create () in
+  List.iter
+    (fun s -> Depdb.add_all db (Fattree.network_records t ~server:s))
+    [ 0; Fattree.server_count t - 1 ];
+  Builder.build db
+    (Builder.spec [ Fattree.server_name t 0; Fattree.server_name t (Fattree.server_count t - 1) ])
+
+let eval_values = Array.make (Graph.node_count fat_graph) false
+let eval_rng = Prng.of_int 5
+
+let small_graph =
+  Graph.of_component_sets
+    [
+      ("E1", List.init 12 (Printf.sprintf "a%d"));
+      ("E2", List.init 12 (Printf.sprintf "b%d"));
+    ]
+
+let tests =
+  [
+    Test.make ~name:"nat.mod_pow (256-bit)" (Staged.stage (fun () ->
+        ignore (Nat.mod_pow ~base:base_256 ~exp:exp_256 ~modulus:modulus_256)));
+    Test.make ~name:"nat.mod_pow (1024-bit)" (Staged.stage (fun () ->
+        ignore (Nat.mod_pow ~base:Nat.two ~exp:exp_1024 ~modulus:modulus_1024)));
+    Test.make ~name:"sha256 (1 KiB)" (Staged.stage (fun () ->
+        ignore (Digest.sha256 one_kb)));
+    Test.make ~name:"md5 (1 KiB)" (Staged.stage (fun () ->
+        ignore (Digest.md5 one_kb)));
+    Test.make ~name:"psop element op (hash+encrypt, 256-bit)"
+      (Staged.stage (fun () ->
+           ignore (Commutative.encrypt comm_params comm_key group_element)));
+    Test.make ~name:"paillier.scalar_mul (128-bit)" (Staged.stage (fun () ->
+        ignore
+          (Paillier.scalar_mul paillier.Paillier.public (Nat.of_int 123456) paillier_ct)));
+    Test.make ~name:"sampling round (k=16 fault graph)" (Staged.stage (fun () ->
+        Array.iter
+          (fun id -> eval_values.(id) <- Prng.bool eval_rng)
+          (Graph.basic_ids fat_graph);
+        Graph.evaluate_into fat_graph ~values:eval_values));
+    Test.make ~name:"minimal cut sets (2x12 component sets)"
+      (Staged.stage (fun () -> ignore (Cutset.minimal_risk_groups small_graph)));
+  ]
+
+let run () =
+  Bench_common.heading "Kernel micro-benchmarks (bechamel)";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.8) () in
+  let analysis =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let result = Analyze.all analysis Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name ols ->
+          let estimate =
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] -> Bench_common.seconds (est *. 1e-9)
+            | Some _ | None -> "n/a"
+          in
+          Printf.printf "   %-45s %s/op\n" name estimate)
+        result)
+    tests

@@ -1,0 +1,476 @@
+(* The indaas command-line tool: structural and private independence
+   audits from the shell.
+
+     indaas sia   --db deps.xml --servers S1,S2
+     indaas pia   --provider A=a.txt --provider B=b.txt
+     indaas topo  --k 16
+     indaas case  network|hardware|software
+     indaas dot   --db deps.xml --servers S1,S2 -o graph.dot
+*)
+
+module Depdb = Indaas_depdata.Depdb
+module Sia_audit = Indaas_sia.Audit
+module Sia_report = Indaas_sia.Report
+module Builder = Indaas_sia.Builder
+module Pia_audit = Indaas_pia.Audit
+module Fattree = Indaas_topology.Fattree
+module Scenario = Indaas.Scenario
+module Dot = Indaas_faultgraph.Dot
+module Table = Indaas_util.Table
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_db path = Depdb.of_string (read_file path)
+
+(* --- shared arguments ------------------------------------------------- *)
+
+let db_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "db" ] ~docv:"FILE"
+        ~doc:"Dependency database in the Table 1 wire format.")
+
+let servers_arg =
+  Arg.(
+    required
+    & opt (some (list string)) None
+    & info [ "servers" ] ~docv:"S1,S2,..."
+        ~doc:"Servers of the redundancy deployment to audit.")
+
+let algorithm_arg =
+  Arg.(
+    value
+    & opt (enum [ ("minimal", `Minimal); ("sampling", `Sampling) ]) `Minimal
+    & info [ "algorithm" ] ~docv:"ALG"
+        ~doc:"Risk-group algorithm: $(b,minimal) (exact) or $(b,sampling).")
+
+let rounds_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "rounds" ] ~docv:"N" ~doc:"Sampling rounds (with --algorithm sampling).")
+
+let prob_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "prob" ] ~docv:"P"
+        ~doc:
+          "Uniform component failure probability; enables probability-based \
+           ranking.")
+
+let required_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "required" ] ~docv:"N"
+        ~doc:"Replicas that must stay alive (n-of-m redundancy).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let make_request servers required algorithm rounds prob =
+  let algorithm =
+    match algorithm with
+    | `Minimal -> Sia_audit.minimal_rg
+    | `Sampling -> Sia_audit.failure_sampling ~rounds
+  in
+  let component_probability = Option.map Builder.uniform_probability prob in
+  let ranking =
+    match prob with
+    | Some _ -> Sia_audit.Probability_based
+    | None -> Sia_audit.Size_based
+  in
+  Sia_audit.request ~required ?component_probability ~algorithm ~ranking servers
+
+(* --- indaas sia -------------------------------------------------------- *)
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+
+let sia_cmd =
+  let run db servers required algorithm rounds prob json seed =
+    let db = load_db db in
+    let rng = Indaas_util.Prng.of_int seed in
+    let request = make_request servers required algorithm rounds prob in
+    let report = Sia_audit.audit ~rng db request in
+    if json then
+      print_endline
+        (Indaas_util.Json.to_string ~indent:true
+           (Sia_report.deployment_to_json report))
+    else print_endline (Sia_report.render_deployment report);
+    if report.Sia_audit.unexpected <> [] then begin
+      if not json then
+        Printf.printf
+          "\nWARNING: %d unexpected risk group(s) — redundancy is undermined.\n"
+          (List.length report.Sia_audit.unexpected);
+      exit 2
+    end
+  in
+  let term =
+    Term.(
+      const run $ db_arg $ servers_arg $ required_arg $ algorithm_arg
+      $ rounds_arg $ prob_arg $ json_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "sia" ~doc:"Structural independence audit of one deployment.")
+    term
+
+(* --- indaas compare ------------------------------------------------------ *)
+
+let compare_cmd =
+  let run db candidates required algorithm rounds prob json seed =
+    let db = load_db db in
+    let rng = Indaas_util.Prng.of_int seed in
+    let request = make_request [] required algorithm rounds prob in
+    let candidates = List.map (String.split_on_char ',') candidates in
+    let reports = Sia_audit.audit_candidates ~rng db ~candidates request in
+    if json then
+      print_endline
+        (Indaas_util.Json.to_string ~indent:true
+           (Sia_report.comparison_to_json reports))
+    else print_endline (Sia_report.render_comparison reports)
+  in
+  let candidates_arg =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"DEPLOYMENT"
+          ~doc:"Candidate deployments, each a comma-separated server list.")
+  in
+  let term =
+    Term.(
+      const run $ db_arg $ candidates_arg $ required_arg $ algorithm_arg
+      $ rounds_arg $ prob_arg $ json_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Rank candidate deployments by independence.")
+    term
+
+(* --- indaas pia ----------------------------------------------------------- *)
+
+let pia_cmd =
+  let run providers way protocol minhash_m key_bits nofm json seed =
+    let rng = Indaas_util.Prng.of_int seed in
+    let providers =
+      List.map
+        (fun spec ->
+          match String.index_opt spec '=' with
+          | None ->
+              Printf.eprintf "--provider expects NAME=FILE, got %S\n" spec;
+              exit 1
+          | Some i ->
+              let name = String.sub spec 0 i in
+              let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+              let components =
+                read_file path |> String.split_on_char '\n'
+                |> List.map String.trim
+                |> List.filter (fun l -> l <> "")
+              in
+              Pia_audit.provider ~name components)
+        providers
+    in
+    let protocol =
+      match protocol with
+      | `Psop -> Pia_audit.Psop { params = None }
+      | `Minhash -> Pia_audit.Psop_minhash { params = None; m = minhash_m }
+      | `Ks -> Pia_audit.Ks { key_bits }
+      | `Bloom -> Pia_audit.Bloom { bits = 4096; hashes = 4; flip = 0. }
+      | `Clear -> Pia_audit.Cleartext
+    in
+    match nofm with
+    | None ->
+        let report = Pia_audit.audit ~protocol ~rng ~way providers in
+        if json then
+          print_endline
+            (Indaas_util.Json.to_string ~indent:true (Pia_audit.to_json report))
+        else print_endline (Pia_audit.render report)
+    | Some n ->
+        let results = Pia_audit.audit_nofm ~protocol ~rng ~n ~m:way providers in
+        print_endline (Pia_audit.render_nofm ~n results)
+  in
+  let providers_arg =
+    Arg.(
+      non_empty
+      & opt_all string []
+      & info [ "provider" ] ~docv:"NAME=FILE"
+          ~doc:
+            "A cloud provider and its component list (one component per \
+             line). Repeatable.")
+  in
+  let way_arg =
+    Arg.(value & opt int 2 & info [ "way" ] ~docv:"N" ~doc:"Redundancy degree.")
+  in
+  let protocol_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("psop", `Psop); ("minhash", `Minhash); ("ks", `Ks);
+               ("bloom", `Bloom); ("clear", `Clear) ])
+          `Psop
+      & info [ "protocol" ] ~docv:"PROTO"
+          ~doc:"$(b,psop), $(b,minhash), $(b,ks), $(b,bloom) or $(b,clear).")
+  in
+  let m_arg =
+    Arg.(value & opt int 256 & info [ "minhash-m" ] ~docv:"M" ~doc:"MinHash functions.")
+  in
+  let bits_arg =
+    Arg.(value & opt int 256 & info [ "key-bits" ] ~docv:"BITS" ~doc:"KS Paillier modulus size.")
+  in
+  let nofm_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "nofm" ] ~docv:"N"
+          ~doc:"Audit n-of-m deployments: require $(docv) live providers out \
+                of each --way-sized group (section 4.2.5).")
+  in
+  let term =
+    Term.(
+      const run $ providers_arg $ way_arg $ protocol_arg $ m_arg $ bits_arg
+      $ nofm_arg $ json_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "pia"
+       ~doc:"Private independence audit across mutually distrustful providers.")
+    term
+
+(* --- indaas topo ------------------------------------------------------------ *)
+
+let topo_cmd =
+  let run k =
+    let t = Fattree.create ~k in
+    let table =
+      Table.create
+        ~aligns:[ Table.Left; Table.Right ]
+        [ "parameter"; "value" ]
+    in
+    List.iter2
+      (fun name v -> Table.add_row table [ name; v ])
+      [ "# switch ports"; "# core routers"; "# agg switches"; "# ToR switches";
+        "# servers"; "Total # devices" ]
+      (Fattree.table3_row t);
+    Table.print table
+  in
+  let k_arg =
+    Arg.(value & opt int 16 & info [ "k"; "ports" ] ~docv:"K" ~doc:"Fat-tree port count (even).")
+  in
+  Cmd.v
+    (Cmd.info "topo" ~doc:"Generate a fat-tree topology and print its Table 3 row.")
+    Term.(const run $ k_arg)
+
+(* --- indaas case -------------------------------------------------------------- *)
+
+let case_cmd =
+  let run which =
+    match which with
+    | `Network ->
+        let c = Scenario.run_network_case () in
+        Printf.printf
+          "deployments=%d clean=%d random-success=%.0f%% best={Rack %s} Pr=%s\n"
+          c.Scenario.total_deployments c.Scenario.clean_deployments
+          (100. *. c.Scenario.random_success_probability)
+          (String.concat ", Rack " (List.map string_of_int c.Scenario.best_pair_racks))
+          (match c.Scenario.lowest_failure_probability with
+          | Some p -> Printf.sprintf "%.4f" p
+          | None -> "-")
+    | `Hardware ->
+        let c = Scenario.run_hardware_case () in
+        Printf.printf "co-located=%b recommended={%s} fixed=%b\ntop4:\n"
+          c.Scenario.co_located
+          (String.concat ", " c.Scenario.recommended_servers)
+          c.Scenario.fixed;
+        List.iteri
+          (fun i names ->
+            Printf.printf "  %d. {%s}\n" (i + 1) (String.concat ", " names))
+          c.Scenario.top4
+    | `Software ->
+        let c = Scenario.run_software_case () in
+        print_string (Pia_audit.render c.Scenario.two_way);
+        print_newline ();
+        print_string (Pia_audit.render c.Scenario.three_way);
+        print_newline ()
+  in
+  let which_arg =
+    Arg.(
+      required
+      & pos 0
+          (some (enum [ ("network", `Network); ("hardware", `Hardware); ("software", `Software) ]))
+          None
+      & info [] ~docv:"CASE" ~doc:"$(b,network), $(b,hardware) or $(b,software).")
+  in
+  Cmd.v
+    (Cmd.info "case" ~doc:"Run one of the paper's three case studies (§6.2).")
+    Term.(const run $ which_arg)
+
+(* --- indaas dot ----------------------------------------------------------------- *)
+
+let dot_cmd =
+  let run db servers required output =
+    let db = load_db db in
+    let graph = Builder.build db (Builder.spec ~required servers) in
+    match output with
+    | None -> print_string (Dot.to_dot graph)
+    | Some path ->
+        Dot.write_file path graph;
+        Printf.printf "wrote %s\n" path
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path (default stdout).")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export a deployment's fault graph in Graphviz format.")
+    Term.(const run $ db_arg $ servers_arg $ required_arg $ output_arg)
+
+(* --- indaas importance ------------------------------------------------------------ *)
+
+let importance_cmd =
+  let run db servers required prob =
+    let db = load_db db in
+    let spec =
+      Builder.spec ~required
+        ~component_probability:(Builder.uniform_probability prob) servers
+    in
+    let graph = Builder.build db spec in
+    let rgs = Indaas_faultgraph.Cutset.minimal_risk_groups graph in
+    Printf.printf "Pr(deployment fails) = %.6g (exact, BDD)\n\n"
+      (Indaas_faultgraph.Bdd.graph_probability graph);
+    print_endline
+      (Indaas_faultgraph.Importance.render
+         (Indaas_faultgraph.Importance.rank_components graph ~rgs))
+  in
+  let prob_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "prob" ] ~docv:"P" ~doc:"Uniform component failure probability.")
+  in
+  Cmd.v
+    (Cmd.info "importance"
+       ~doc:
+         "Rank a deployment's components by Birnbaum and Fussell-Vesely \
+          importance.")
+    Term.(const run $ db_arg $ servers_arg $ required_arg $ prob_arg)
+
+(* --- indaas gen ------------------------------------------------------------------ *)
+
+let gen_cmd =
+  let run k servers output =
+    let t = Fattree.create ~k in
+    let servers =
+      match servers with
+      | Some list -> list
+      | None -> [ 0; Fattree.server_count t - 1 ]
+    in
+    let db = Depdb.create () in
+    List.iter
+      (fun s -> Depdb.add_all db (Fattree.network_records t ~server:s))
+      servers;
+    let text = Depdb.to_string db in
+    (match output with
+    | None -> print_endline text
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc text;
+            output_char oc '\n');
+        Printf.printf "wrote %d records for %d server(s) to %s\n" (Depdb.size db)
+          (List.length servers) path);
+    ()
+  in
+  let k_arg =
+    Arg.(value & opt int 8 & info [ "k"; "ports" ] ~docv:"K" ~doc:"Fat-tree port count.")
+  in
+  let servers_arg =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "servers" ] ~docv:"I,J,..."
+          ~doc:"Server indices to emit records for (default: first and last).")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path (default stdout).")
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:"Generate a Table 1 dependency database from a fat-tree topology.")
+    Term.(const run $ k_arg $ servers_arg $ output_arg)
+
+(* --- indaas coverage --------------------------------------------------------------- *)
+
+let coverage_cmd =
+  let run db servers required bias checkpoints seed =
+    let db = load_db db in
+    let graph = Builder.build db (Builder.spec ~required servers) in
+    let rng = Indaas_util.Prng.of_int seed in
+    let rgs = Indaas_faultgraph.Cutset.minimal_risk_groups graph in
+    Printf.printf "%d minimal risk groups (exact)\n" (List.length rgs);
+    let points =
+      Indaas_faultgraph.Sampling.coverage ~failure_bias:bias rng graph
+        ~targets:rgs ~checkpoints
+    in
+    let t =
+      Table.create
+        ~aligns:[ Table.Right; Table.Right; Table.Right ]
+        [ "rounds"; "time"; "% detected" ]
+    in
+    List.iter
+      (fun (p : Indaas_faultgraph.Sampling.coverage_point) ->
+        Table.add_row t
+          [
+            string_of_int p.Indaas_faultgraph.Sampling.rounds;
+            Indaas_util.Timing.format_seconds p.Indaas_faultgraph.Sampling.seconds;
+            Printf.sprintf "%.1f%%"
+              (100. *. p.Indaas_faultgraph.Sampling.fraction);
+          ])
+      points;
+    Table.print t
+  in
+  let bias_arg =
+    Arg.(value & opt float 0.8 & info [ "bias" ] ~docv:"P" ~doc:"Failure bias per round.")
+  in
+  let checkpoints_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1000; 10_000; 100_000 ]
+      & info [ "checkpoints" ] ~docv:"N,N,..." ~doc:"Round checkpoints.")
+  in
+  Cmd.v
+    (Cmd.info "coverage"
+       ~doc:"Figure 7-style sampling coverage analysis of one deployment.")
+    Term.(const run $ db_arg $ servers_arg $ required_arg $ bias_arg
+          $ checkpoints_arg $ seed_arg)
+
+let () =
+  (* INDAAS_LOG=debug|info enables protocol/agent logging on stderr. *)
+  (match Sys.getenv_opt "INDAAS_LOG" with
+  | Some level ->
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level
+        (match level with
+        | "debug" -> Some Logs.Debug
+        | "info" -> Some Logs.Info
+        | _ -> Some Logs.Warning)
+  | None -> ());
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "indaas" ~version:"1.0.0"
+      ~doc:"Independence-as-a-Service: audit redundancy deployments proactively."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ sia_cmd; compare_cmd; pia_cmd; topo_cmd; case_cmd; dot_cmd; gen_cmd;
+            coverage_cmd; importance_cmd ]))

@@ -1,0 +1,1 @@
+examples/compose_audit.ml: Array Indaas_faultgraph List Printf String

@@ -1,0 +1,1 @@
+examples/compose_audit.mli:

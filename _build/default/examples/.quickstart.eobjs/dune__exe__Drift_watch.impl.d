@@ -1,0 +1,1 @@
+examples/drift_watch.ml: Indaas Indaas_depdata Indaas_faultgraph Indaas_sia Indaas_util List Printf String

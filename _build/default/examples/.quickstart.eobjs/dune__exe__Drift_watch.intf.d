@@ -1,0 +1,1 @@
+examples/drift_watch.mli:

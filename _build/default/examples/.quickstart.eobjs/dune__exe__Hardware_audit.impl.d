@@ -1,0 +1,1 @@
+examples/hardware_audit.ml: Indaas Indaas_sia List Printf String

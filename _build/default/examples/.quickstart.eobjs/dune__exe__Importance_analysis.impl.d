@@ -1,0 +1,1 @@
+examples/importance_analysis.ml: Indaas_depdata Indaas_faultgraph Indaas_sia List Option Printf

@@ -1,0 +1,1 @@
+examples/multicloud_pia.ml: Indaas Indaas_depdata Indaas_pia Indaas_util List Printf String

@@ -1,0 +1,1 @@
+examples/multicloud_pia.mli:

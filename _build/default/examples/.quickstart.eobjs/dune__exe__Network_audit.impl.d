@@ -1,0 +1,1 @@
+examples/network_audit.ml: Indaas Indaas_sia List Printf String

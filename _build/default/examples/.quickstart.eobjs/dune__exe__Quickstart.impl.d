@@ -1,0 +1,1 @@
+examples/quickstart.ml: Filename Indaas_depdata Indaas_faultgraph Indaas_sia List Printf String

@@ -1,0 +1,108 @@
+(* Periodic audits and configuration drift (paper §2: "Alice might
+   also request periodic audits on a deployed configuration to
+   identify correlated failure risks that configuration changes or
+   evolution might introduce").
+
+   A deployment starts clean; infrastructure evolution — a network
+   consolidation and a software convergence — silently introduces
+   shared dependencies. The monitor diffs the successive audits and
+   raises on the first regression. The availability simulator then
+   shows the regression is not academic: simulated uptime drops.
+
+   Run with: dune exec examples/drift_watch.exe *)
+
+module Dependency = Indaas_depdata.Dependency
+module Depdb = Indaas_depdata.Depdb
+module Monitor = Indaas.Monitor
+module Sia_audit = Indaas_sia.Audit
+module Lifetime = Indaas_faultgraph.Lifetime
+module Prng = Indaas_util.Prng
+
+(* Four quarterly snapshots of the same two-server deployment. *)
+let snapshots =
+  let db records =
+    let d = Depdb.create () in
+    Depdb.add_all d records;
+    d
+  in
+  [
+    ( "Q1: initial deployment (disjoint switches, distinct stacks)",
+      db
+        [
+          Dependency.network ~src:"S1" ~dst:"I" ~route:[ "swA"; "coreA" ];
+          Dependency.network ~src:"S2" ~dst:"I" ~route:[ "swB"; "coreB" ];
+          Dependency.software ~pgm:"App1" ~host:"S1" ~deps:[ "libfoo-1" ];
+          Dependency.software ~pgm:"App2" ~host:"S2" ~deps:[ "libbar-2" ];
+        ] );
+    ( "Q2: spare link added to S2 (harmless)",
+      db
+        [
+          Dependency.network ~src:"S1" ~dst:"I" ~route:[ "swA"; "coreA" ];
+          Dependency.network ~src:"S2" ~dst:"I" ~route:[ "swB"; "coreB" ];
+          Dependency.network ~src:"S2" ~dst:"I" ~route:[ "swB"; "coreC" ];
+          Dependency.software ~pgm:"App1" ~host:"S1" ~deps:[ "libfoo-1" ];
+          Dependency.software ~pgm:"App2" ~host:"S2" ~deps:[ "libbar-2" ];
+        ] );
+    ( "Q3: network consolidation moves S2 behind swA (regression!)",
+      db
+        [
+          Dependency.network ~src:"S1" ~dst:"I" ~route:[ "swA"; "coreA" ];
+          Dependency.network ~src:"S2" ~dst:"I" ~route:[ "swA"; "coreB" ];
+          Dependency.network ~src:"S2" ~dst:"I" ~route:[ "swA"; "coreC" ];
+          Dependency.software ~pgm:"App1" ~host:"S1" ~deps:[ "libfoo-1" ];
+          Dependency.software ~pgm:"App2" ~host:"S2" ~deps:[ "libbar-2" ];
+        ] );
+    ( "Q4: both apps migrate to the same TLS library (worse)",
+      db
+        [
+          Dependency.network ~src:"S1" ~dst:"I" ~route:[ "swA"; "coreA" ];
+          Dependency.network ~src:"S2" ~dst:"I" ~route:[ "swA"; "coreB" ];
+          Dependency.network ~src:"S2" ~dst:"I" ~route:[ "swA"; "coreC" ];
+          Dependency.software ~pgm:"App1" ~host:"S1"
+            ~deps:[ "libfoo-1"; "libssl-1.0.1" ];
+          Dependency.software ~pgm:"App2" ~host:"S2"
+            ~deps:[ "libbar-2"; "libssl-1.0.1" ];
+        ] );
+  ]
+
+let () =
+  print_endline "== Drift watch: periodic audits of one deployment ==";
+  let request = Sia_audit.request [ "S1"; "S2" ] in
+  let reports, diffs = Monitor.audit_series (List.map snd snapshots) request in
+  List.iteri
+    (fun i (label, _) ->
+      Printf.printf "\n%s\n" label;
+      let report = List.nth reports i in
+      Printf.printf "  audit: %d risk groups, %d unexpected\n"
+        (List.length report.Sia_audit.ranked)
+        (List.length report.Sia_audit.unexpected);
+      if i > 0 then
+        print_endline
+          ("  " ^ String.concat "\n  "
+             (String.split_on_char '\n'
+                (Monitor.render_diff (List.nth diffs (i - 1))))))
+    snapshots;
+  print_endline "";
+  (match Monitor.first_regression diffs with
+  | Some i ->
+      Printf.printf "First regression entering snapshot %d (%s)\n" (i + 2)
+        (fst (List.nth snapshots (i + 1)))
+  | None -> print_endline "No regression across the series");
+
+  (* Quantify the damage with the availability simulator. *)
+  print_endline "";
+  print_endline "Simulated availability of each snapshot (mtbf 1000, mttr 10):";
+  List.iteri
+    (fun i (label, _) ->
+      let report = List.nth reports i in
+      let avail =
+        Lifetime.mean_availability ~runs:3 (Prng.of_int 99)
+          report.Sia_audit.graph
+      in
+      Printf.printf "  %-60s %.5f\n"
+        (String.sub label 0 (min 60 (String.length label)))
+        avail)
+    snapshots;
+  print_endline "";
+  print_endline "The monitor catches at Q3 what the uptime report would only";
+  print_endline "reveal after the shared switch actually fails."

@@ -1,0 +1,99 @@
+(* Weighted auditing end-to-end: estimate component failure
+   probabilities from operational data (paper §5.1), audit with
+   probability ranking, and drill down from risk groups to the
+   individual components worth fixing first (Birnbaum and
+   Fussell-Vesely importance, computed exactly on a BDD).
+
+   Run with: dune exec examples/importance_analysis.exe *)
+
+module Dependency = Indaas_depdata.Dependency
+module Depdb = Indaas_depdata.Depdb
+module Failure_stats = Indaas_depdata.Failure_stats
+module Audit = Indaas_sia.Audit
+module Builder = Indaas_sia.Builder
+module Report = Indaas_sia.Report
+module Cutset = Indaas_faultgraph.Cutset
+module Importance = Indaas_faultgraph.Importance
+module Bdd = Indaas_faultgraph.Bdd
+
+let () =
+  print_endline "== From failure logs to component importance ==";
+  print_endline "";
+
+  (* 1. A year of (synthetic) operational failure events, in the shape
+     Gill et al. mined from production tickets. *)
+  let events =
+    [
+      { Failure_stats.component = "ToR1"; component_type = "ToR"; day = 12 };
+      { Failure_stats.component = "ToR3"; component_type = "ToR"; day = 80 };
+      { Failure_stats.component = "ToR1"; component_type = "ToR"; day = 200 };
+      { Failure_stats.component = "Core2"; component_type = "Core"; day = 91 };
+      { Failure_stats.component = "agg-sw-4"; component_type = "Agg"; day = 150 };
+      { Failure_stats.component = "agg-sw-9"; component_type = "Agg"; day = 310 };
+    ]
+  in
+  let estimates =
+    Failure_stats.estimate_by_type ~window_days:365
+      ~population:[ ("ToR", 20); ("Agg", 16); ("Core", 4) ]
+      events
+  in
+  print_endline "Device failure probabilities (Gill-style, 1-year window):";
+  List.iter
+    (fun e ->
+      Printf.printf "  %-5s %d/%d failed -> Pr = %.3f\n" e.Failure_stats.etype
+        e.Failure_stats.failed e.Failure_stats.population
+        e.Failure_stats.probability)
+    estimates;
+
+  (* CVSS scores stand in for software failure likelihood. *)
+  let software = Failure_stats.cvss_table [ ("libssl-1.0.1", 9.8); ("libc6", 2.1) ] in
+  let probability =
+    Failure_stats.lookup ~default:0.02
+      ~device_types:
+        (Failure_stats.classify_by_prefix
+           [ ("ToR", "ToR"); ("Core", "Core"); ("agg", "Agg") ])
+      ~device_estimates:estimates ~software
+  in
+  print_endline "";
+  Printf.printf "  libssl-1.0.1 (CVSS 9.8) -> Pr = %.3f; default for the rest = 0.020\n"
+    (Option.get (probability "libssl-1.0.1"));
+
+  (* 2. Weighted SIA audit of the Figure 2-style deployment. *)
+  let db =
+    Depdb.of_string
+      {|
+<src="S1" dst="Internet" route="ToR1,Core1"/>
+<src="S1" dst="Internet" route="ToR1,Core2"/>
+<src="S2" dst="Internet" route="ToR1,Core1"/>
+<src="S2" dst="Internet" route="ToR1,Core2"/>
+<hw="S1" type="Disk" dep="S1-disk"/>
+<hw="S2" type="Disk" dep="S2-disk"/>
+<pgm="App1" hw="S1" dep="libssl-1.0.1,libc6"/>
+<pgm="App2" hw="S2" dep="libssl-1.0.1,libc6"/>
+|}
+  in
+  let report =
+    Audit.audit db
+      (Audit.request ~component_probability:probability
+         ~ranking:Audit.Probability_based [ "S1"; "S2" ])
+  in
+  print_endline "";
+  print_endline "== Probability-ranked auditing report ==";
+  print_endline (Report.render_deployment report);
+
+  (* 3. Exact cross-check and component-level importance. *)
+  let graph = report.Audit.graph in
+  let bdd_pr = Bdd.graph_probability graph in
+  Printf.printf "\nExact Pr(deployment fails) via BDD: %.6f (report: %s)\n" bdd_pr
+    (match report.Audit.failure_probability with
+    | Some p -> Printf.sprintf "%.6f" p
+    | None -> "-");
+
+  let rgs = Cutset.minimal_risk_groups graph in
+  print_endline "";
+  print_endline "Component importance (what to fix first):";
+  print_endline (Importance.render (Importance.rank_components graph ~rgs));
+  print_endline "";
+  print_endline "The shared ToR switch and the vulnerable TLS library dominate";
+  print_endline "both measures — fixing either buys more reliability than any";
+  print_endline "disk or core-router change."

@@ -1,0 +1,76 @@
+(* Case study §6.2.3 — common software dependency, audited privately.
+
+   Alice wants reliable storage across multiple cloud providers (as
+   iCloud rents both EC2 and Azure). Four candidate clouds each run a
+   key-value store; none will reveal its software inventory. INDaaS's
+   PIA protocol ranks every 2-way and 3-way redundancy deployment by
+   Jaccard similarity of the providers' component sets, computed with
+   the P-SOP private set intersection cardinality protocol — the
+   auditing agent and the other providers never see any plaintext.
+
+   Run with: dune exec examples/multicloud_pia.exe *)
+
+module Scenario = Indaas.Scenario
+module Pia_audit = Indaas_pia.Audit
+module Psop = Indaas_pia.Psop
+module Ks = Indaas_pia.Ks
+module Transport = Indaas_pia.Transport
+module Catalog = Indaas_depdata.Catalog
+module Timing = Indaas_util.Timing
+module Prng = Indaas_util.Prng
+
+let () =
+  print_endline "== Case study: common software dependency via PIA (paper 6.2.3) ==";
+  print_endline "";
+  List.iteri
+    (fun i app ->
+      Printf.printf "  Cloud%d runs %-8s (%d packages in its closure)\n" (i + 1)
+        (Catalog.application_name app)
+        (List.length (Catalog.packages app)))
+    Catalog.all_applications;
+  print_endline "";
+
+  let case = Scenario.run_software_case () in
+  print_endline "Ranked 2-way redundancy deployments (cf. paper Table 2):";
+  print_string (Pia_audit.render case.Scenario.two_way);
+  print_endline "";
+  print_endline "";
+  print_endline "Ranked 3-way redundancy deployments:";
+  print_string (Pia_audit.render case.Scenario.three_way);
+  print_endline "";
+  print_endline "";
+  Printf.printf "Recommendation: deploy on %s.\n"
+    (String.concat " & " case.Scenario.best_two_way);
+  print_endline "";
+
+  (* Peek under the hood of one private evaluation. *)
+  print_endline "Protocol internals for the winning pair (P-SOP, 256-bit keys):";
+  let g = Prng.of_int 2024 in
+  let datasets =
+    [| Catalog.packages Catalog.MongoDB; Catalog.packages Catalog.CouchDB |]
+  in
+  let r, elapsed = Timing.time (fun () -> Psop.run g datasets) in
+  Printf.printf
+    "  |intersection| = %d, |union| = %d, J = %.4f\n\
+    \  commutative encryptions: %d, traffic: %s, wall time: %s\n"
+    r.Psop.intersection r.Psop.union r.Psop.jaccard r.Psop.crypto_ops
+    (Timing.format_bytes (Transport.total_bytes r.Psop.transport))
+    (Timing.format_seconds elapsed);
+  print_endline "";
+
+  print_endline "Same pair through the Kissner-Song baseline (Paillier):";
+  let rk, elapsed_ks = Timing.time (fun () -> Ks.run ~key_bits:128 g datasets) in
+  Printf.printf
+    "  |intersection| = %d, Paillier ops: %d, traffic: %s, wall time: %s\n"
+    rk.Ks.intersection rk.Ks.crypto_ops
+    (Timing.format_bytes (Transport.total_bytes rk.Ks.transport))
+    (Timing.format_seconds elapsed_ks);
+  Printf.printf "  (KS burns %.0fx more crypto operations — Figure 8's story)\n"
+    (float_of_int rk.Ks.crypto_ops /. float_of_int r.Psop.crypto_ops);
+  print_endline "";
+
+  print_endline "MinHash compression for large component sets (paper 4.2.4):";
+  let rm = Psop.run_minhash ~m:256 g datasets in
+  Printf.printf "  m = 256 signatures: J ~ %.4f (exact %.4f), traffic %s\n"
+    rm.Psop.jaccard r.Psop.jaccard
+    (Timing.format_bytes (Transport.total_bytes rm.Psop.transport))

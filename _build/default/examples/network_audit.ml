@@ -1,0 +1,68 @@
+(* Case study §6.2.1 — common network dependency.
+
+   Alice wants to deploy a service replicated across two racks of her
+   data center (20 candidate racks, 190 possible pairs). INDaaS audits
+   every candidate deployment and points her at a pair whose network
+   paths share nothing.
+
+   Run with: dune exec examples/network_audit.exe *)
+
+module Scenario = Indaas.Scenario
+module Sia_audit = Indaas_sia.Audit
+module Report = Indaas_sia.Report
+
+let () =
+  print_endline "== Case study: common network dependency (paper 6.2.1) ==";
+  print_endline "";
+  let case = Scenario.run_network_case () in
+  Printf.printf "Candidate two-way deployments audited : %d\n"
+    case.Scenario.total_deployments;
+  Printf.printf "Deployments without unexpected RGs    : %d\n"
+    case.Scenario.clean_deployments;
+  Printf.printf "Success probability of a random pick  : %.0f%%\n"
+    (100. *. case.Scenario.random_success_probability);
+  print_endline "";
+  Printf.printf "Most independent deployment: {Rack %s}\n"
+    (String.concat ", Rack "
+       (List.map string_of_int case.Scenario.best_pair_racks));
+  (match case.Scenario.lowest_failure_probability with
+  | Some p ->
+      Printf.printf
+        "Cross-check with uniform device failure probability 0.1:\n\
+         Pr(deployment fails) = %.4f — %s\n"
+        p
+        (if case.Scenario.probability_confirms_best then
+           "the size-ranking winner is also the probability argmin"
+         else "NOT the probability argmin")
+  | None -> ());
+  print_endline "";
+
+  print_endline "Top of the ranking (best first):";
+  print_string (Report.render_comparison ~max_rows:5 case.Scenario.reports);
+  print_endline "";
+  print_endline "";
+
+  print_endline "Bottom of the ranking (deployments to avoid):";
+  let worst =
+    List.filteri
+      (fun i _ -> i >= List.length case.Scenario.reports - 3)
+      case.Scenario.reports
+  in
+  List.iter (fun r -> print_endline ("  " ^ Report.summary_line r)) worst;
+  print_endline "";
+
+  (* Show why a bad pair is bad. *)
+  let bad = List.nth case.Scenario.reports (List.length case.Scenario.reports - 1) in
+  print_endline "Details of the worst deployment:";
+  print_endline (Report.render_deployment ~max_rgs:5 bad);
+
+  print_endline "";
+  print_endline "The failure-sampling algorithm (paper ran 10^6 rounds) reaches";
+  print_endline "the same conclusion without the exponential exact analysis:";
+  let sampled =
+    Scenario.run_network_case
+      ~algorithm:(Sia_audit.failure_sampling ~rounds:20_000) ()
+  in
+  Printf.printf "  sampling winner: {Rack %s}, %d clean deployments (exact: %d)\n"
+    (String.concat ", Rack " (List.map string_of_int sampled.Scenario.best_pair_racks))
+    sampled.Scenario.clean_deployments case.Scenario.clean_deployments

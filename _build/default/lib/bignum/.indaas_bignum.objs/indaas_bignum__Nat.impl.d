@@ -1,0 +1,1 @@
+lib/bignum/nat.ml: Array Buffer Bytes Char Format Indaas_util Int64 List Printf Stdlib String

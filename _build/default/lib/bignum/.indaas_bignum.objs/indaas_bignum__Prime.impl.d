@@ -1,0 +1,1 @@
+lib/bignum/prime.ml: Array Indaas_util Nat

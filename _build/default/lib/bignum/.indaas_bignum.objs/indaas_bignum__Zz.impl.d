@@ -1,0 +1,1 @@
+lib/bignum/zz.ml: Format Nat Stdlib

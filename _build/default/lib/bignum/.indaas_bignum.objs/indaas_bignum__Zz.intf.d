@@ -1,0 +1,1 @@
+lib/bignum/zz.mli: Format Nat

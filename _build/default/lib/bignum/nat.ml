@@ -1,0 +1,470 @@
+(* Little-endian base-2^31 limbs, no trailing zero limb. Base 2^31 is
+   chosen so that a limb product plus carries stays below OCaml's
+   63-bit native [max_int]: (2^31-1)^2 + 2*(2^31-1) < 2^62 - 1. *)
+
+type t = int array
+
+let limb_bits = 31
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+let zero : t = [||]
+let one : t = [| 1 |]
+let two : t = [| 2 |]
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let is_zero a = Array.length a = 0
+let is_one a = Array.length a = 1 && a.(0) = 1
+let is_even a = Array.length a = 0 || a.(0) land 1 = 0
+
+let of_int n =
+  if n < 0 then invalid_arg "Nat.of_int: negative";
+  if n = 0 then zero
+  else begin
+    let rec limbs acc n = if n = 0 then List.rev acc else limbs ((n land mask) :: acc) (n lsr limb_bits) in
+    Array.of_list (limbs [] n)
+  end
+
+let of_int64 n =
+  if Int64.compare n 0L < 0 then invalid_arg "Nat.of_int64: negative";
+  (* Peel 31-bit limbs directly from the int64. *)
+  let rec peel acc v =
+    if Int64.equal v 0L then List.rev acc
+    else
+      peel
+        (Int64.to_int (Int64.logand v (Int64.of_int mask)) :: acc)
+        (Int64.shift_right_logical v limb_bits)
+  in
+  normalize (Array.of_list (peel [] n))
+
+let rec bit_length_int v = if v = 0 then 0 else 1 + bit_length_int (v lsr 1)
+
+let to_int_opt a =
+  let la = Array.length a in
+  let bits =
+    if la = 0 then 0 else ((la - 1) * limb_bits) + bit_length_int a.(la - 1)
+  in
+  if bits > 62 then None
+  else begin
+    let v = ref 0 in
+    for i = la - 1 downto 0 do
+      v := (!v lsl limb_bits) lor a.(i)
+    done;
+    Some !v
+  end
+
+let to_int a =
+  match to_int_opt a with
+  | Some v -> v
+  | None -> failwith "Nat.to_int: overflow"
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let equal a b = compare a b = 0
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  let out = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    out.(i) <- s land mask;
+    carry := s lsr limb_bits
+  done;
+  out.(n) <- !carry;
+  normalize out
+
+let sub (a : t) (b : t) : t =
+  if compare a b < 0 then invalid_arg "Nat.sub: underflow";
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalize out
+
+let add_int a n =
+  if n < 0 then invalid_arg "Nat.add_int: negative" else add a (of_int n)
+
+let sub_int a n =
+  if n < 0 then invalid_arg "Nat.sub_int: negative" else sub a (of_int n)
+
+let mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let p = (ai * b.(j)) + out.(i + j) + !carry in
+        out.(i + j) <- p land mask;
+        carry := p lsr limb_bits
+      done;
+      (* Propagate the final carry (may itself carry further). *)
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let s = out.(!k) + !carry in
+        out.(!k) <- s land mask;
+        carry := s lsr limb_bits;
+        incr k
+      done
+    done;
+    normalize out
+  end
+
+let mul_int a n =
+  if n < 0 then invalid_arg "Nat.mul_int: negative";
+  mul a (of_int n)
+
+let bit_length (a : t) =
+  let n = Array.length a in
+  if n = 0 then 0 else ((n - 1) * limb_bits) + bit_length_int a.(n - 1)
+
+let testbit (a : t) i =
+  if i < 0 then invalid_arg "Nat.testbit: negative index";
+  let limb = i / limb_bits and off = i mod limb_bits in
+  if limb >= Array.length a then false else (a.(limb) lsr off) land 1 = 1
+
+let shift_left (a : t) k =
+  if k < 0 then invalid_arg "Nat.shift_left: negative";
+  if is_zero a || k = 0 then a
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let la = Array.length a in
+    let out = Array.make (la + limbs + 1) 0 in
+    if bits = 0 then Array.blit a 0 out limbs la
+    else begin
+      let carry = ref 0 in
+      for i = 0 to la - 1 do
+        let v = (a.(i) lsl bits) lor !carry in
+        out.(i + limbs) <- v land mask;
+        carry := v lsr limb_bits
+      done;
+      out.(la + limbs) <- !carry
+    end;
+    normalize out
+  end
+
+let shift_right (a : t) k =
+  if k < 0 then invalid_arg "Nat.shift_right: negative";
+  if is_zero a || k = 0 then a
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let la = Array.length a in
+    if limbs >= la then zero
+    else begin
+      let n = la - limbs in
+      let out = Array.make n 0 in
+      if bits = 0 then Array.blit a limbs out 0 n
+      else
+        for i = 0 to n - 1 do
+          let lo = a.(i + limbs) lsr bits in
+          let hi = if i + limbs + 1 < la then (a.(i + limbs + 1) lsl (limb_bits - bits)) land mask else 0 in
+          out.(i) <- lo lor hi
+        done;
+      normalize out
+    end
+  end
+
+(* Division by a single positive limb; returns quotient and int
+   remainder. Used by Knuth division and decimal conversion. *)
+let divmod_small (a : t) (d : int) : t * int =
+  if d <= 0 || d > mask then invalid_arg "Nat.divmod_small: bad divisor";
+  let la = Array.length a in
+  let out = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    out.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (normalize out, !r)
+
+(* Knuth algorithm D. *)
+let divmod_knuth (a : t) (b : t) : t * t =
+  let n = Array.length b in
+  (* Normalize so the top limb of the divisor has its high bit set. *)
+  let shift =
+    let rec go s v = if v land (1 lsl (limb_bits - 1)) <> 0 then s else go (s + 1) (v lsl 1) in
+    go 0 b.(n - 1)
+  in
+  let u_nat = shift_left a shift in
+  let v = shift_left b shift in
+  let m = Array.length u_nat - n in
+  (* Working copy of the dividend with one extra top limb. *)
+  let u = Array.make (Array.length u_nat + 1) 0 in
+  Array.blit u_nat 0 u 0 (Array.length u_nat);
+  let q = Array.make (max (m + 1) 1) 0 in
+  let vtop = v.(n - 1) in
+  let vsecond = if n >= 2 then v.(n - 2) else 0 in
+  for j = m downto 0 do
+    let num = (u.(j + n) lsl limb_bits) lor u.(j + n - 1) in
+    let qhat = ref (num / vtop) in
+    let rhat = ref (num mod vtop) in
+    if !qhat >= base then begin
+      qhat := base - 1;
+      rhat := num - ((base - 1) * vtop)
+    end;
+    let continue_adjust = ref true in
+    while !continue_adjust do
+      if
+        !rhat < base
+        && n >= 2
+        && !qhat * vsecond > (!rhat lsl limb_bits) lor u.(j + n - 2)
+      then begin
+        decr qhat;
+        rhat := !rhat + vtop
+      end
+      else continue_adjust := false
+    done;
+    (* u[j .. j+n] -= qhat * v *)
+    let borrow = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (!qhat * v.(i)) + !borrow in
+      let d = u.(i + j) - (p land mask) in
+      if d < 0 then begin
+        u.(i + j) <- d + base;
+        borrow := (p lsr limb_bits) + 1
+      end
+      else begin
+        u.(i + j) <- d;
+        borrow := p lsr limb_bits
+      end
+    done;
+    let d = u.(j + n) - !borrow in
+    if d < 0 then begin
+      (* qhat was one too large: add the divisor back. *)
+      u.(j + n) <- d + base;
+      decr qhat;
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let s = u.(i + j) + v.(i) + !carry in
+        u.(i + j) <- s land mask;
+        carry := s lsr limb_bits
+      done;
+      u.(j + n) <- (u.(j + n) + !carry) land mask
+    end
+    else u.(j + n) <- d;
+    q.(j) <- !qhat
+  done;
+  let r = normalize (Array.sub u 0 n) in
+  (normalize q, shift_right r shift)
+
+let divmod (a : t) (b : t) : t * t =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then begin
+    let q, r = divmod_small a b.(0) in
+    (q, of_int r)
+  end
+  else divmod_knuth a b
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let pow a k =
+  if k < 0 then invalid_arg "Nat.pow: negative exponent";
+  let rec go acc base k =
+    if k = 0 then acc
+    else begin
+      let acc = if k land 1 = 1 then mul acc base else acc in
+      go acc (mul base base) (k lsr 1)
+    end
+  in
+  go one a k
+
+let mod_pow ~base:b ~exp ~modulus =
+  if is_zero modulus then raise Division_by_zero;
+  if is_one modulus then zero
+  else begin
+    let b = rem b modulus in
+    let bits = bit_length exp in
+    let result = ref one in
+    let acc = ref b in
+    for i = 0 to bits - 1 do
+      if testbit exp i then result := rem (mul !result !acc) modulus;
+      if i < bits - 1 then acc := rem (mul !acc !acc) modulus
+    done;
+    !result
+  end
+
+let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+
+(* Extended Euclid over naturals, tracking signed Bezout coefficients
+   as (sign, magnitude) pairs to avoid a dependency on the signed
+   module (which is built on top of this one). *)
+let mod_inverse a m =
+  if is_zero m then invalid_arg "Nat.mod_inverse: zero modulus";
+  let a = rem a m in
+  if is_zero a then None
+  else begin
+    (* Iterative egcd: r0 = m, r1 = a; t0 = 0, t1 = 1 with signs. *)
+    let r0 = ref m and r1 = ref a in
+    let t0 = ref (zero, 1) and t1 = ref (one, 1) in
+    let signed_sub (x, sx) (y, sy) =
+      (* (x,sx) - (y,sy) on sign-magnitude pairs *)
+      if sx = sy then
+        if compare x y >= 0 then (sub x y, sx) else (sub y x, -sx)
+      else (add x y, sx)
+    in
+    let signed_mul_nat (x, sx) k = (mul x k, sx) in
+    while not (is_zero !r1) do
+      let q, r = divmod !r0 !r1 in
+      let t2 = signed_sub !t0 (signed_mul_nat !t1 q) in
+      r0 := !r1;
+      r1 := r;
+      t0 := !t1;
+      t1 := t2
+    done;
+    if not (is_one !r0) then None
+    else begin
+      let x, s = !t0 in
+      let x = rem x m in
+      if is_zero x then Some zero
+      else if s >= 0 then Some x
+      else Some (sub m x)
+    end
+  end
+
+let of_bytes_be s =
+  let n = String.length s in
+  let acc = ref zero in
+  for i = 0 to n - 1 do
+    acc := add (shift_left !acc 8) (of_int (Char.code s.[i]))
+  done;
+  !acc
+
+let byte_length a = (bit_length a + 7) / 8
+
+let to_bytes_be a =
+  let n = byte_length a in
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    (* Byte i (from the left) holds bits [8*(n-1-i) .. 8*(n-1-i)+7]. *)
+    let lo = 8 * (n - 1 - i) in
+    let v = ref 0 in
+    for bit = 7 downto 0 do
+      v := (!v lsl 1) lor (if testbit a (lo + bit) then 1 else 0)
+    done;
+    Bytes.set b i (Char.chr !v)
+  done;
+  Bytes.to_string b
+
+let of_hex s =
+  if String.length s = 0 then invalid_arg "Nat.of_hex: empty";
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Nat.of_hex: bad digit"
+  in
+  let acc = ref zero in
+  String.iter (fun c -> acc := add (shift_left !acc 4) (of_int (digit c))) s;
+  !acc
+
+let to_hex a =
+  if is_zero a then "0"
+  else begin
+    let digits = "0123456789abcdef" in
+    let nibbles = (bit_length a + 3) / 4 in
+    let buf = Buffer.create nibbles in
+    for i = nibbles - 1 downto 0 do
+      let v = ref 0 in
+      for bit = 3 downto 0 do
+        v := (!v lsl 1) lor (if testbit a ((4 * i) + bit) then 1 else 0)
+      done;
+      Buffer.add_char buf digits.[!v]
+    done;
+    Buffer.contents buf
+  end
+
+let of_decimal s =
+  if String.length s = 0 then invalid_arg "Nat.of_decimal: empty";
+  String.iter
+    (fun c -> if c < '0' || c > '9' then invalid_arg "Nat.of_decimal: bad digit")
+    s;
+  (* Consume 9 decimal digits at a time: acc = acc*10^9 + chunk. *)
+  let acc = ref zero in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let len = min 9 (n - !i) in
+    let chunk = int_of_string (String.sub s !i len) in
+    let scale = int_of_float (10. ** float_of_int len) in
+    acc := add (mul_int !acc scale) (of_int chunk);
+    i := !i + len
+  done;
+  !acc
+
+let to_decimal a =
+  if is_zero a then "0"
+  else begin
+    let chunks = ref [] in
+    let cur = ref a in
+    while not (is_zero !cur) do
+      let q, r = divmod_small !cur 1_000_000_000 in
+      chunks := r :: !chunks;
+      cur := q
+    done;
+    match !chunks with
+    | [] -> "0"
+    | first :: rest ->
+        let buf = Buffer.create 32 in
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest;
+        Buffer.contents buf
+  end
+
+let pp fmt a = Format.pp_print_string fmt (to_decimal a)
+
+let random_bits g n =
+  if n < 0 then invalid_arg "Nat.random_bits: negative";
+  if n = 0 then zero
+  else begin
+    let limbs = (n + limb_bits - 1) / limb_bits in
+    let out = Array.make limbs 0 in
+    for i = 0 to limbs - 1 do
+      out.(i) <- Indaas_util.Prng.bits30 g lor ((Indaas_util.Prng.bits30 g land 1) lsl 30)
+    done;
+    (* Mask the top limb down to the requested width. *)
+    let top_bits = n - ((limbs - 1) * limb_bits) in
+    out.(limbs - 1) <- out.(limbs - 1) land ((1 lsl top_bits) - 1);
+    normalize out
+  end
+
+let random_below g bound =
+  if compare bound zero <= 0 then invalid_arg "Nat.random_below: bound must be positive";
+  let bits = bit_length bound in
+  let rec draw () =
+    let candidate = random_bits g bits in
+    if compare candidate bound < 0 then candidate else draw ()
+  in
+  draw ()

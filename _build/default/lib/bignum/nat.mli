@@ -1,0 +1,105 @@
+(** Arbitrary-precision natural numbers.
+
+    Pure-OCaml replacement for the subset of zarith the INDaaS crypto
+    substrate needs: the commutative-encryption and Paillier schemes of
+    the PIA protocols (paper §4.2) require modular exponentiation over
+    multi-hundred-bit moduli, and the sealed build environment has no
+    bignum package.
+
+    Representation: little-endian array of base-2^31 limbs with no
+    trailing zero limb; the value 0 is the empty array. All operations
+    are functional (inputs never mutated). *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+(** Raises [Invalid_argument] on negative input. *)
+
+val to_int : t -> int
+(** Raises [Failure] if the value exceeds [max_int]. *)
+
+val to_int_opt : t -> int option
+
+val of_int64 : int64 -> t
+(** Raises [Invalid_argument] on negative input. *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_even : t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+val add_int : t -> int -> t
+
+val sub : t -> t -> t
+(** [sub a b] requires [a >= b]; raises [Invalid_argument] otherwise. *)
+
+val sub_int : t -> int -> t
+
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(a / b, a mod b)]. Raises [Division_by_zero] if
+    [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val bit_length : t -> int
+(** Number of significant bits; [bit_length zero = 0]. *)
+
+val testbit : t -> int -> bool
+(** [testbit a i] is bit [i] (little-endian); [false] beyond the top. *)
+
+val pow : t -> int -> t
+(** [pow a k] is [a^k] by repeated squaring; [k >= 0]. *)
+
+val mod_pow : base:t -> exp:t -> modulus:t -> t
+(** [mod_pow ~base ~exp ~modulus] is [base^exp mod modulus].
+    Raises [Division_by_zero] if [modulus] is zero. *)
+
+val gcd : t -> t -> t
+
+val mod_inverse : t -> t -> t option
+(** [mod_inverse a m] is [Some x] with [a*x = 1 (mod m)] when
+    [gcd a m = 1], else [None]. *)
+
+val of_bytes_be : string -> t
+(** Big-endian bytes to natural. The empty string is 0. *)
+
+val to_bytes_be : t -> string
+(** Minimal big-endian encoding; 0 encodes to the empty string. *)
+
+val byte_length : t -> int
+(** Length of [to_bytes_be]. *)
+
+val of_hex : string -> t
+(** Parses a hexadecimal string (no prefix). Raises [Invalid_argument]
+    on non-hex characters or empty input. *)
+
+val to_hex : t -> string
+
+val of_decimal : string -> t
+(** Parses a decimal string. Raises [Invalid_argument] on bad input. *)
+
+val to_decimal : t -> string
+
+val pp : Format.formatter -> t -> unit
+(** Prints in decimal. *)
+
+val random_bits : Indaas_util.Prng.t -> int -> t
+(** [random_bits g n] is uniform over \[0, 2^n). *)
+
+val random_below : Indaas_util.Prng.t -> t -> t
+(** [random_below g bound] is uniform over \[0, bound); [bound] must be
+    positive. *)

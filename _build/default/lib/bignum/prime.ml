@@ -1,0 +1,118 @@
+module Prng = Indaas_util.Prng
+
+let small_primes =
+  (* Sieve of Eratosthenes below 1000, computed once at load. *)
+  let limit = 1000 in
+  let sieve = Array.make (limit + 1) true in
+  sieve.(0) <- false;
+  sieve.(1) <- false;
+  let i = ref 2 in
+  while !i * !i <= limit do
+    if sieve.(!i) then begin
+      let j = ref (!i * !i) in
+      while !j <= limit do
+        sieve.(!j) <- false;
+        j := !j + !i
+      done
+    end;
+    incr i
+  done;
+  let out = ref [] in
+  for k = limit downto 2 do
+    if sieve.(k) then out := k :: !out
+  done;
+  Array.of_list !out
+
+let divisible_by_small_prime n =
+  let found = ref false in
+  let i = ref 0 in
+  let len = Array.length small_primes in
+  while (not !found) && !i < len do
+    let p = small_primes.(!i) in
+    (match Nat.to_int_opt n with
+    | Some v when v = p -> () (* n IS the small prime, not divisible-strictly *)
+    | _ ->
+        let _, r = Nat.divmod n (Nat.of_int p) in
+        if Nat.is_zero r then found := true);
+    incr i
+  done;
+  !found
+
+(* One Miller–Rabin round: is [a] a witness of compositeness for [n]?
+   n - 1 = d * 2^s with d odd. *)
+let mr_witness ~n ~n_minus_1 ~d ~s a =
+  let x = ref (Nat.mod_pow ~base:a ~exp:d ~modulus:n) in
+  if Nat.is_one !x || Nat.equal !x n_minus_1 then false
+  else begin
+    let witness = ref true in
+    let r = ref 1 in
+    while !witness && !r < s do
+      x := Nat.rem (Nat.mul !x !x) n;
+      if Nat.equal !x n_minus_1 then witness := false;
+      incr r
+    done;
+    !witness
+  end
+
+let is_probably_prime ?(rounds = 24) g n =
+  match Nat.to_int_opt n with
+  | Some v when v < 2 -> false
+  | Some 2 | Some 3 -> true
+  | _ ->
+      if Nat.is_even n then false
+      else if divisible_by_small_prime n then false
+      else begin
+        let n_minus_1 = Nat.sub n Nat.one in
+        (* Factor n-1 = d * 2^s. *)
+        let s = ref 0 in
+        let d = ref n_minus_1 in
+        while Nat.is_even !d do
+          d := Nat.shift_right !d 1;
+          incr s
+        done;
+        let composite = ref false in
+        let round = ref 0 in
+        while (not !composite) && !round < rounds do
+          (* Base in [2, n-2]. *)
+          let a =
+            Nat.add (Nat.random_below g (Nat.sub n (Nat.of_int 3))) Nat.two
+          in
+          if mr_witness ~n ~n_minus_1 ~d:!d ~s:!s a then composite := true;
+          incr round
+        done;
+        not !composite
+      end
+
+let generate ?(rounds = 24) g ~bits =
+  if bits < 2 then invalid_arg "Prime.generate: bits must be >= 2";
+  let rec attempt () =
+    let candidate = Nat.random_bits g bits in
+    (* Force the top bit (exact width) and the bottom bit (odd). *)
+    let top = Nat.shift_left Nat.one (bits - 1) in
+    let candidate =
+      if Nat.testbit candidate (bits - 1) then candidate
+      else Nat.add candidate top
+    in
+    let candidate =
+      if Nat.is_even candidate then Nat.add candidate Nat.one else candidate
+    in
+    if Nat.bit_length candidate = bits && is_probably_prime ~rounds g candidate
+    then candidate
+    else attempt ()
+  in
+  attempt ()
+
+let generate_distinct_pair ?(rounds = 24) g ~bits =
+  let p = generate ~rounds g ~bits in
+  let rec next () =
+    let q = generate ~rounds g ~bits in
+    if Nat.equal p q then next () else q
+  in
+  (p, next ())
+
+let oakley_group2 =
+  Nat.of_hex
+    ("FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+   ^ "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+   ^ "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+   ^ "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF")

@@ -1,0 +1,23 @@
+(** Probabilistic primality testing and prime generation, used by the
+    PIA crypto substrate (commutative encryption and Paillier key
+    generation, paper §4.2.2). *)
+
+val small_primes : int array
+(** Primes below 1000, for trial division. *)
+
+val is_probably_prime : ?rounds:int -> Indaas_util.Prng.t -> Nat.t -> bool
+(** Miller–Rabin with [rounds] random bases (default 24) after trial
+    division. Error probability at most 4^-rounds for composites. *)
+
+val generate : ?rounds:int -> Indaas_util.Prng.t -> bits:int -> Nat.t
+(** [generate g ~bits] returns a probable prime of exactly [bits] bits
+    (top bit set). [bits] must be at least 2. *)
+
+val generate_distinct_pair : ?rounds:int -> Indaas_util.Prng.t -> bits:int -> Nat.t * Nat.t
+(** Two distinct probable primes of [bits] bits each (for RSA/Paillier
+    moduli). *)
+
+val oakley_group2 : Nat.t
+(** The well-known 1024-bit safe prime from RFC 2409 (Oakley group 2),
+    usable as a fixed modulus for commutative encryption at paper-scale
+    key size without paying generation cost. *)

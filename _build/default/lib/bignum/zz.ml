@@ -1,0 +1,87 @@
+(* Sign-magnitude: [sign] is -1, 0 or 1, and [mag] is zero iff [sign]
+   is 0. *)
+type t = { sign : int; mag : Nat.t }
+
+let make sign mag =
+  if Nat.is_zero mag then { sign = 0; mag = Nat.zero } else { sign; mag }
+
+let zero = { sign = 0; mag = Nat.zero }
+let one = { sign = 1; mag = Nat.one }
+let minus_one = { sign = -1; mag = Nat.one }
+
+let of_nat n = make 1 n
+
+let of_int n =
+  if n >= 0 then make 1 (Nat.of_int n) else make (-1) (Nat.of_int (-n))
+
+let to_nat t =
+  if t.sign < 0 then invalid_arg "Zz.to_nat: negative" else t.mag
+
+let to_int t =
+  let v = Nat.to_int t.mag in
+  if t.sign < 0 then -v else v
+
+let sign t = t.sign
+let abs t = t.mag
+let neg t = make (-t.sign) t.mag
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (Nat.add a.mag b.mag)
+  else begin
+    let c = Nat.compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (Nat.sub a.mag b.mag)
+    else make b.sign (Nat.sub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b = make (a.sign * b.sign) (Nat.mul a.mag b.mag)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let q_mag, r_mag = Nat.divmod a.mag b.mag in
+  if a.sign >= 0 then (make b.sign q_mag, make 1 r_mag)
+  else if Nat.is_zero r_mag then (make (-b.sign) q_mag, zero)
+  else
+    (* Round the quotient toward -infinity so the remainder is
+       non-negative: a = q*b + r with 0 <= r < |b|. *)
+    (make (-b.sign) (Nat.add q_mag Nat.one), make 1 (Nat.sub b.mag r_mag))
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else a.sign * Nat.compare a.mag b.mag
+
+let equal a b = compare a b = 0
+
+let erem a m =
+  if Nat.is_zero m then raise Division_by_zero;
+  let r = Nat.rem a.mag m in
+  if a.sign >= 0 || Nat.is_zero r then r else Nat.sub m r
+
+let egcd a b =
+  let r0 = ref (of_nat a) and r1 = ref (of_nat b) in
+  let x0 = ref one and x1 = ref zero in
+  let y0 = ref zero and y1 = ref one in
+  while !r1.sign <> 0 do
+    let q, r = divmod !r0 !r1 in
+    r0 := !r1;
+    r1 := r;
+    let nx = sub !x0 (mul q !x1) in
+    x0 := !x1;
+    x1 := nx;
+    let ny = sub !y0 (mul q !y1) in
+    y0 := !y1;
+    y1 := ny
+  done;
+  (to_nat !r0, !x0, !y0)
+
+let to_string t =
+  match t.sign with
+  | 0 -> "0"
+  | s when s > 0 -> Nat.to_decimal t.mag
+  | _ -> "-" ^ Nat.to_decimal t.mag
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

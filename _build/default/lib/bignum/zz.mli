@@ -1,0 +1,47 @@
+(** Signed arbitrary-precision integers (sign-magnitude over {!Nat}).
+
+    Used where intermediate values can go negative, e.g. extended-gcd
+    style computations in tests and the polynomial arithmetic of the
+    Kissner–Song baseline. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_nat : Nat.t -> t
+val of_int : int -> t
+
+val to_nat : t -> Nat.t
+(** Raises [Invalid_argument] on negative values. *)
+
+val to_int : t -> int
+(** Raises [Failure] on overflow. *)
+
+val sign : t -> int
+(** -1, 0 or 1. *)
+
+val abs : t -> Nat.t
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** Euclidean division: remainder is always non-negative and smaller
+    than [|b|], and [a = q*b + r]. Raises [Division_by_zero]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val erem : t -> Nat.t -> Nat.t
+(** [erem a m] is the representative of [a] in \[0, m). *)
+
+val egcd : Nat.t -> Nat.t -> Nat.t * t * t
+(** [egcd a b] returns [(g, x, y)] with [g = gcd a b] and
+    [a*x + b*y = g]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/core/agent.ml: Indaas_depdata Indaas_pia Indaas_sia Indaas_util List Logs Printf Spec

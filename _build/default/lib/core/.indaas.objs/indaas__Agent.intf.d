@@ -1,0 +1,1 @@
+lib/core/agent.mli: Indaas_depdata Indaas_pia Indaas_sia Indaas_util Spec

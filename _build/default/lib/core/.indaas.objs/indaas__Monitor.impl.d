@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Indaas_sia Indaas_util List Printf Set String

@@ -1,0 +1,1 @@
+lib/core/monitor.mli: Indaas_depdata Indaas_sia Indaas_util

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Agent Indaas_crypto Indaas_depdata Indaas_iaas Indaas_pia Indaas_sia Indaas_topology Indaas_util List Printf String

@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Agent Indaas_depdata Indaas_iaas Indaas_pia Indaas_sia Indaas_util

@@ -1,0 +1,136 @@
+module Depdb = Indaas_depdata.Depdb
+module Dependency = Indaas_depdata.Dependency
+module Collectors = Indaas_depdata.Collectors
+module Sia_audit = Indaas_sia.Audit
+module Sia_report = Indaas_sia.Report
+module Pia_audit = Indaas_pia.Audit
+module Componentset = Indaas_pia.Componentset
+module Prng = Indaas_util.Prng
+
+let log_src = Logs.Src.create "indaas.agent" ~doc:"INDaaS auditing agent"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type data_source = {
+  source_name : string;
+  modules : Collectors.t list;
+}
+
+let data_source ~name modules = { source_name = name; modules }
+
+type outcome =
+  | Sia_outcome of Sia_audit.deployment_report list
+  | Pia_outcome of Pia_audit.report
+
+type audit_run = {
+  spec : Spec.t;
+  outcome : outcome;
+  database_size : int;
+}
+
+let kind_of_record = function
+  | Dependency.Network _ -> Spec.Network
+  | Dependency.Hardware _ -> Spec.Hardware
+  | Dependency.Software _ -> Spec.Software
+
+let filter_kinds spec db =
+  let filtered = Depdb.create () in
+  List.iter
+    (fun r -> if Spec.wants spec (kind_of_record r) then Depdb.add filtered r)
+    (Depdb.records db);
+  filtered
+
+let find_source sources name =
+  match List.find_opt (fun s -> s.source_name = name) sources with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Agent: data source %S not available" name)
+
+let collect spec sources =
+  let db = Depdb.create () in
+  List.iter
+    (fun name ->
+      let source = find_source sources name in
+      List.iter
+        (fun (m : Collectors.t) ->
+          let records = m.Collectors.collect () in
+          Log.debug (fun f ->
+              f "source %s: module %s produced %d records" name
+                m.Collectors.name (List.length records));
+          Depdb.add_all db records)
+        source.modules)
+    spec.Spec.data_sources;
+  let filtered = filter_kinds spec db in
+  Log.info (fun f ->
+      f "collected %d records from %d data sources (%d after kind filter)"
+        (Depdb.size db)
+        (List.length spec.Spec.data_sources)
+        (Depdb.size filtered));
+  filtered
+
+(* In PIA the agent never pools records: each provider derives its own
+   normalized component set locally (§4.2.3). A provider's set is the
+   union over all machines its records describe. *)
+let local_component_set spec source =
+  let db = Depdb.create () in
+  List.iter
+    (fun (m : Collectors.t) -> Depdb.add_all db (m.Collectors.collect ()))
+    source.modules;
+  let db = filter_kinds spec db in
+  Componentset.union_many
+    (List.map
+       (fun machine -> Componentset.of_depdb db ~machine)
+       (Depdb.machines db))
+
+let run ?(rng = Prng.of_int 0x1DAA5) ?rg_algorithm ?pia_protocol spec sources =
+  match spec.Spec.metric with
+  | Spec.Jaccard_similarity ->
+      let providers =
+        List.map
+          (fun name ->
+            {
+              Pia_audit.name;
+              Pia_audit.components = local_component_set spec (find_source sources name);
+            })
+          spec.Spec.data_sources
+      in
+      let protocol =
+        match pia_protocol with
+        | Some p -> p
+        | None -> Pia_audit.Psop { params = None }
+      in
+      Log.info (fun f ->
+          f "running PIA across %d providers (redundancy %d)"
+            (List.length providers) spec.Spec.redundancy);
+      let report =
+        Pia_audit.audit ~protocol ~rng ~way:spec.Spec.redundancy providers
+      in
+      { spec; outcome = Pia_outcome report; database_size = 0 }
+  | Spec.Size_ranking | Spec.Probability_ranking _ ->
+      let db = collect spec sources in
+      let ranking, component_probability =
+        match spec.Spec.metric with
+        | Spec.Size_ranking -> (Sia_audit.Size_based, None)
+        | Spec.Probability_ranking { component_probability } ->
+            (Sia_audit.Probability_based, Some component_probability)
+        | Spec.Jaccard_similarity -> assert false
+      in
+      let request =
+        Sia_audit.request ~required:spec.Spec.required ?component_probability
+          ?algorithm:rg_algorithm ~ranking []
+      in
+      let candidates = Spec.candidate_deployments spec in
+      Log.info (fun f ->
+          f "running SIA over %d candidate deployments" (List.length candidates));
+      let reports = Sia_audit.audit_candidates ~rng db ~candidates request in
+      { spec; outcome = Sia_outcome reports; database_size = Depdb.size db }
+
+let render run =
+  match run.outcome with
+  | Sia_outcome reports -> Sia_report.render_comparison reports
+  | Pia_outcome report -> Pia_audit.render report
+
+let best_deployment run =
+  match run.outcome with
+  | Sia_outcome (best :: _) -> best.Sia_audit.servers
+  | Sia_outcome [] -> invalid_arg "Agent.best_deployment: empty report"
+  | Pia_outcome report -> (Pia_audit.best report).Pia_audit.providers

@@ -1,0 +1,54 @@
+(** The auditing agent — the mediator of the paper's workflow (§2).
+
+    Given the client's {!Spec.t} and a set of {!data_source}s, the
+    agent executes Steps 2–6: it requests dependency data from each
+    source (each source runs its acquisition modules), filters it to
+    the dependency kinds the client asked about, and runs either
+    structural (SIA) or private (PIA) independence auditing, returning
+    the final report. *)
+
+module Depdb = Indaas_depdata.Depdb
+module Collectors = Indaas_depdata.Collectors
+
+type data_source = {
+  source_name : string;
+  modules : Collectors.t list;  (** its dependency acquisition modules *)
+}
+
+val data_source : name:string -> Collectors.t list -> data_source
+
+type outcome =
+  | Sia_outcome of Indaas_sia.Audit.deployment_report list
+      (** candidate deployments, best first *)
+  | Pia_outcome of Indaas_pia.Audit.report
+
+type audit_run = {
+  spec : Spec.t;
+  outcome : outcome;
+  database_size : int;
+      (** records gathered (0 for PIA — the agent never sees them) *)
+}
+
+val collect : Spec.t -> data_source list -> Depdb.t
+(** Steps 2–3 only: ask every relevant source to run its modules and
+    adapt the records; returns the merged DepDB filtered to the
+    requested dependency kinds. *)
+
+val run :
+  ?rng:Indaas_util.Prng.t ->
+  ?rg_algorithm:Indaas_sia.Audit.rg_algorithm ->
+  ?pia_protocol:Indaas_pia.Audit.protocol ->
+  Spec.t ->
+  data_source list ->
+  audit_run
+(** The full workflow. For SIA metrics each candidate deployment is
+    audited over the merged database; for [Jaccard_similarity] each
+    source's records stay local — only normalized component sets
+    enter the (default P-SOP) private protocol. Raises
+    [Invalid_argument] if a specified data source is missing. *)
+
+val render : audit_run -> string
+(** The report sent back to the client (Step 6). *)
+
+val best_deployment : audit_run -> string list
+(** The servers/providers of the top-ranked deployment. *)

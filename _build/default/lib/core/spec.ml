@@ -1,0 +1,55 @@
+type dependency_kind = Network | Hardware | Software
+
+type metric =
+  | Size_ranking
+  | Probability_ranking of { component_probability : string -> float option }
+  | Jaccard_similarity
+
+type t = {
+  data_sources : string list;
+  redundancy : int;
+  required : int;
+  kinds : dependency_kind list;
+  metric : metric;
+  candidates : string list list option;
+}
+
+let rec subsets_of_size k l =
+  match (k, l) with
+  | 0, _ -> [ [] ]
+  | _, [] -> []
+  | k, x :: rest ->
+      List.map (fun s -> x :: s) (subsets_of_size (k - 1) rest)
+      @ subsets_of_size k rest
+
+let create ?(required = 1) ?(kinds = [ Network; Hardware; Software ])
+    ?(metric = Size_ranking) ?candidates ~redundancy data_sources =
+  let n = List.length data_sources in
+  if n = 0 then invalid_arg "Spec.create: no data sources";
+  if redundancy < 2 || redundancy > n then
+    invalid_arg "Spec.create: redundancy out of [2, #sources]";
+  if required < 1 || required > redundancy then
+    invalid_arg "Spec.create: required out of [1, redundancy]";
+  if kinds = [] then invalid_arg "Spec.create: no dependency kinds";
+  (match candidates with
+  | None -> ()
+  | Some cs ->
+      List.iter
+        (fun c ->
+          if List.length c <> redundancy then
+            invalid_arg "Spec.create: candidate size differs from redundancy";
+          List.iter
+            (fun s ->
+              if not (List.mem s data_sources) then
+                invalid_arg
+                  (Printf.sprintf "Spec.create: candidate member %S unknown" s))
+            c)
+        cs);
+  { data_sources; redundancy; required; kinds; metric; candidates }
+
+let candidate_deployments t =
+  match t.candidates with
+  | Some cs -> cs
+  | None -> subsets_of_size t.redundancy t.data_sources
+
+let wants t kind = List.mem kind t.kinds

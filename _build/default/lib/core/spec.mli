@@ -1,0 +1,46 @@
+(** The auditing client's specification — what Alice submits to the
+    auditing agent in Step 1 of the paper's workflow (§2): the
+    relevant data sources, the desired level of redundancy, the types
+    of dependencies to consider, and the independence metric. *)
+
+type dependency_kind = Network | Hardware | Software
+
+type metric =
+  | Size_ranking  (** SIA, size-based RG ranking (§4.1.3) *)
+  | Probability_ranking of { component_probability : string -> float option }
+      (** SIA, relative-importance ranking — needs failure
+          probabilities (§4.1.3, §5.1) *)
+  | Jaccard_similarity  (** PIA over component sets (§4.2) *)
+
+type t = {
+  data_sources : string list;
+      (** names of the data sources (servers or cloud providers) *)
+  redundancy : int;  (** deploy across this many sources (n-way) *)
+  required : int;  (** replicas that must stay alive (default 1) *)
+  kinds : dependency_kind list;  (** dependency types to audit *)
+  metric : metric;
+  candidates : string list list option;
+      (** explicit deployments to compare; [None] = all
+          [redundancy]-subsets of [data_sources] *)
+}
+
+val create :
+  ?required:int ->
+  ?kinds:dependency_kind list ->
+  ?metric:metric ->
+  ?candidates:string list list ->
+  redundancy:int ->
+  string list ->
+  t
+(** [create ~redundancy sources]. Defaults: all dependency kinds,
+    [Size_ranking], [required = 1], all subsets as candidates.
+    Raises [Invalid_argument] on an empty source list, a redundancy
+    outside \[2, #sources\], [required] outside \[1, redundancy\], an
+    empty [kinds], or a candidate that is not a [redundancy]-subset
+    of the sources. *)
+
+val candidate_deployments : t -> string list list
+(** The deployments the audit will compare (explicit candidates, or
+    all subsets). *)
+
+val wants : t -> dependency_kind -> bool

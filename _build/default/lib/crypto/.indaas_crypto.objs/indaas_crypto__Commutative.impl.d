@@ -1,0 +1,1 @@
+lib/crypto/commutative.ml: Indaas_bignum Indaas_util String

@@ -1,0 +1,1 @@
+lib/crypto/commutative.mli: Indaas_bignum Indaas_util

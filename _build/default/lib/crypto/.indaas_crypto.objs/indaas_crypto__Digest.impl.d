@@ -1,0 +1,1 @@
+lib/crypto/digest.ml: Array Bytes Char Int64 String

@@ -1,0 +1,1 @@
+lib/crypto/oracle.ml: Buffer Digest Indaas_bignum Printf

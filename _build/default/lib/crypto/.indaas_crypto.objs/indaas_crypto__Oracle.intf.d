@@ -1,0 +1,1 @@
+lib/crypto/oracle.mli: Digest Indaas_bignum

@@ -1,0 +1,1 @@
+lib/crypto/paillier.ml: Indaas_bignum Indaas_util

@@ -1,0 +1,1 @@
+lib/crypto/paillier.mli: Indaas_bignum Indaas_util

@@ -1,0 +1,47 @@
+module Nat = Indaas_bignum.Nat
+module Prime = Indaas_bignum.Prime
+module Prng = Indaas_util.Prng
+
+type params = {
+  modulus : Nat.t;
+  order : Nat.t; (* order of the exponent group: p-1 or lcm(p-1, q-1) *)
+}
+
+type key = { e : Nat.t; d : Nat.t }
+
+let params_pohlig_hellman ?(bits = 256) g =
+  let p = Prime.generate g ~bits in
+  { modulus = p; order = Nat.sub p Nat.one }
+
+let params_oakley1024 =
+  let p = Prime.oakley_group2 in
+  { modulus = p; order = Nat.sub p Nat.one }
+
+let params_sra ?(bits = 256) g =
+  if bits < 16 then invalid_arg "Commutative.params_sra: modulus too small";
+  let p, q = Prime.generate_distinct_pair g ~bits:(bits / 2) in
+  let p1 = Nat.sub p Nat.one and q1 = Nat.sub q Nat.one in
+  let lambda = Nat.div (Nat.mul p1 q1) (Nat.gcd p1 q1) in
+  { modulus = Nat.mul p q; order = lambda }
+
+let modulus t = t.modulus
+let modulus_bytes t = Nat.byte_length t.modulus
+
+let generate_key g params =
+  let rec attempt () =
+    let e = Nat.add (Nat.random_below g (Nat.sub params.order Nat.two)) Nat.two in
+    match Nat.mod_inverse e params.order with
+    | Some d -> { e; d }
+    | None -> attempt ()
+  in
+  attempt ()
+
+let encrypt params key m = Nat.mod_pow ~base:m ~exp:key.e ~modulus:params.modulus
+let decrypt params key c = Nat.mod_pow ~base:c ~exp:key.d ~modulus:params.modulus
+
+let ciphertext_to_string params c =
+  let width = modulus_bytes params in
+  let raw = Nat.to_bytes_be c in
+  let padding = width - String.length raw in
+  if padding < 0 then invalid_arg "Commutative.ciphertext_to_string: out of range";
+  String.make padding '\x00' ^ raw

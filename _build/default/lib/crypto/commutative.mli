@@ -1,0 +1,55 @@
+(** Commutative encryption for the P-SOP protocol (paper §4.2.2).
+
+    Two schemes are provided:
+
+    - {b Pohlig–Hellman exponentiation} over a shared prime modulus
+      [p]: [E_k(m) = m^k mod p] with [gcd (k, p-1) = 1]. For any two
+      keys [E_k1 (E_k2 m) = E_k2 (E_k1 m)], which is exactly the
+      property the ring protocol needs.
+    - {b SRA} (Shamir–Rivest–Adleman “mental poker”, the paper's
+      “commutative RSA”): same construction but over an RSA modulus
+      [n = p*q] whose factorization is known to the key issuer.
+
+    Messages are first mapped into the multiplicative group via
+    {!Oracle.hash_to_group}. These schemes are deterministic — equal
+    plaintexts yield equal ciphertexts under the same key chain, which
+    is what allows the parties to count set intersections on
+    ciphertexts. *)
+
+type params
+(** Shared public parameters (the modulus). All parties in a P-SOP
+    ring must use equal parameters. *)
+
+type key
+(** A party's private exponent (with its inverse). *)
+
+val params_pohlig_hellman :
+  ?bits:int -> Indaas_util.Prng.t -> params
+(** Fresh prime-modulus parameters. Default [bits] is 256 (see
+    DESIGN.md substitution 3; the paper used 1024). *)
+
+val params_oakley1024 : params
+(** Fixed 1024-bit parameters (RFC 2409 group 2 prime) — paper-scale
+    key size with zero generation cost. *)
+
+val params_sra : ?bits:int -> Indaas_util.Prng.t -> params
+(** RSA-modulus parameters ([bits] is the modulus size; two [bits/2]
+    primes are generated). *)
+
+val modulus : params -> Indaas_bignum.Nat.t
+val modulus_bytes : params -> int
+(** Size of one ciphertext on the wire, in bytes. *)
+
+val generate_key : Indaas_util.Prng.t -> params -> key
+(** A fresh exponent coprime with the group order. *)
+
+val encrypt : params -> key -> Indaas_bignum.Nat.t -> Indaas_bignum.Nat.t
+(** [encrypt params k m] = [m^k mod modulus]. [m] must already lie in
+    the group (use {!Oracle.hash_to_group} first). *)
+
+val decrypt : params -> key -> Indaas_bignum.Nat.t -> Indaas_bignum.Nat.t
+(** Inverse of {!encrypt} under the same key. *)
+
+val ciphertext_to_string : params -> Indaas_bignum.Nat.t -> string
+(** Fixed-width big-endian encoding, suitable as a wire format and as
+    a comparable dictionary key. *)

@@ -1,0 +1,31 @@
+(** Cryptographic hash functions, implemented from scratch.
+
+    The paper's P-SOP prototype hashes component identifiers with MD5
+    before commutative encryption (§6.1.2); we default to SHA-256
+    elsewhere but provide MD5 and SHA-1 for fidelity. All functions
+    hash complete strings (one-shot); that is all INDaaS needs. *)
+
+type algorithm = MD5 | SHA1 | SHA256
+
+val digest : algorithm -> string -> string
+(** Raw digest bytes: 16 for MD5, 20 for SHA-1, 32 for SHA-256. *)
+
+val digest_hex : algorithm -> string -> string
+(** Lowercase hexadecimal of {!digest}. *)
+
+val md5 : string -> string
+val sha1 : string -> string
+val sha256 : string -> string
+
+val md5_hex : string -> string
+val sha1_hex : string -> string
+val sha256_hex : string -> string
+
+val output_length : algorithm -> int
+
+val to_hex : string -> string
+(** Hex-encode arbitrary bytes. *)
+
+val fold_to_int64 : string -> int64
+(** First 8 digest bytes as a big-endian int64 — convenient for
+    MinHash-style integer hashing. *)

@@ -1,0 +1,38 @@
+module Nat = Indaas_bignum.Nat
+
+(* Counter-mode expansion: H(0 || s) || H(1 || s) || ... gives as many
+   pseudo-random bytes as needed, then the result is truncated to the
+   requested bit width. *)
+let expand algorithm s nbytes =
+  let out_len = Digest.output_length algorithm in
+  let blocks = (nbytes + out_len - 1) / out_len in
+  let buf = Buffer.create (blocks * out_len) in
+  for i = 0 to blocks - 1 do
+    Buffer.add_string buf (Digest.digest algorithm (Printf.sprintf "%d|%s" i s))
+  done;
+  Buffer.sub buf 0 nbytes
+
+let hash_to_nat ?(algorithm = Digest.SHA256) s ~bits =
+  if bits <= 0 then invalid_arg "Oracle.hash_to_nat: bits must be positive";
+  let nbytes = (bits + 7) / 8 in
+  let raw = expand algorithm s nbytes in
+  let n = Nat.of_bytes_be raw in
+  let excess = (nbytes * 8) - bits in
+  Nat.shift_right n excess
+
+let hash_to_group ?(algorithm = Digest.SHA256) s ~modulus =
+  let bits = Nat.bit_length modulus in
+  if bits < 3 then invalid_arg "Oracle.hash_to_group: modulus too small";
+  (* Rejection-sample with an appended counter until below modulus-2,
+     then shift into [2, modulus-1]. *)
+  let limit = Nat.sub modulus Nat.two in
+  let rec attempt i =
+    let candidate = hash_to_nat ~algorithm (Printf.sprintf "%s#%d" s i) ~bits in
+    if Nat.compare candidate limit < 0 then Nat.add candidate Nat.two
+    else attempt (i + 1)
+  in
+  attempt 0
+
+let hash_int ~seed s =
+  let d = Digest.sha256 (Printf.sprintf "minhash-%d|%s" seed s) in
+  Digest.fold_to_int64 d

@@ -1,0 +1,19 @@
+(** Hashing into algebraic structures (random-oracle style). *)
+
+val hash_to_nat :
+  ?algorithm:Digest.algorithm -> string -> bits:int -> Indaas_bignum.Nat.t
+(** [hash_to_nat s ~bits] deterministically maps [s] to a natural
+    below [2^bits], by counter-mode expansion of the underlying hash. *)
+
+val hash_to_group :
+  ?algorithm:Digest.algorithm ->
+  string ->
+  modulus:Indaas_bignum.Nat.t ->
+  Indaas_bignum.Nat.t
+(** [hash_to_group s ~modulus] maps [s] to a value in \[2, modulus-1\],
+    suitable as a plaintext for {!Commutative}. Deterministic:
+    equal strings map to equal group elements under equal moduli. *)
+
+val hash_int : seed:int -> string -> int64
+(** [hash_int ~seed s] is a 64-bit hash of [s] keyed by [seed] — the
+    family of hash functions used by MinHash (paper §4.2.2). *)

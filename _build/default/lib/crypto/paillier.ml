@@ -1,0 +1,65 @@
+module Nat = Indaas_bignum.Nat
+module Prime = Indaas_bignum.Prime
+module Prng = Indaas_util.Prng
+
+type public_key = { n : Nat.t; n_squared : Nat.t; g : Nat.t }
+type private_key = { lambda : Nat.t; mu : Nat.t }
+type keypair = { public : public_key; private_ : private_key }
+
+(* L(x) = (x - 1) / n *)
+let ell ~n x = Nat.div (Nat.sub x Nat.one) n
+
+let generate ?(bits = 256) g =
+  if bits < 16 then invalid_arg "Paillier.generate: modulus too small";
+  let rec attempt () =
+    let p, q = Prime.generate_distinct_pair g ~bits:(bits / 2) in
+    let n = Nat.mul p q in
+    let p1 = Nat.sub p Nat.one and q1 = Nat.sub q Nat.one in
+    let lambda = Nat.div (Nat.mul p1 q1) (Nat.gcd p1 q1) in
+    let n_squared = Nat.mul n n in
+    (* Standard simplification: g = n + 1, for which
+       L(g^lambda mod n^2) = lambda mod n. *)
+    let gen = Nat.add n Nat.one in
+    let u = Nat.mod_pow ~base:gen ~exp:lambda ~modulus:n_squared in
+    match Nat.mod_inverse (ell ~n u) n with
+    | Some mu ->
+        {
+          public = { n; n_squared; g = gen };
+          private_ = { lambda; mu };
+        }
+    | None -> attempt ()
+  in
+  attempt ()
+
+let plaintext_space pk = pk.n
+let ciphertext_bytes pk = Nat.byte_length pk.n_squared
+
+let random_unit g pk =
+  (* r in [1, n) with gcd(r, n) = 1; failures are negligible but we
+     check anyway. *)
+  let rec attempt () =
+    let r = Nat.add (Nat.random_below g (Nat.sub pk.n Nat.one)) Nat.one in
+    if Nat.is_one (Nat.gcd r pk.n) then r else attempt ()
+  in
+  attempt ()
+
+let encrypt g pk m =
+  let m = Nat.rem m pk.n in
+  let r = random_unit g pk in
+  (* g^m * r^n mod n^2; with g = n+1, g^m = 1 + m*n (mod n^2). *)
+  let gm = Nat.rem (Nat.add Nat.one (Nat.mul m pk.n)) pk.n_squared in
+  let rn = Nat.mod_pow ~base:r ~exp:pk.n ~modulus:pk.n_squared in
+  Nat.rem (Nat.mul gm rn) pk.n_squared
+
+let decrypt kp c =
+  let pk = kp.public and sk = kp.private_ in
+  let u = Nat.mod_pow ~base:c ~exp:sk.lambda ~modulus:pk.n_squared in
+  Nat.rem (Nat.mul (ell ~n:pk.n u) sk.mu) pk.n
+
+let add pk c1 c2 = Nat.rem (Nat.mul c1 c2) pk.n_squared
+
+let scalar_mul pk k c = Nat.mod_pow ~base:c ~exp:k ~modulus:pk.n_squared
+
+let encrypt_zero g pk = encrypt g pk Nat.zero
+
+let rerandomize g pk c = add pk c (encrypt_zero g pk)

@@ -1,0 +1,44 @@
+(** Paillier additively homomorphic encryption (Paillier, EUROCRYPT
+    1999).
+
+    Substrate for the Kissner–Song private set-operation baseline the
+    paper compares P-SOP against in §6.3.2. Supports:
+
+    - [E(m1) * E(m2) mod n^2 = E(m1 + m2)] — {!add}
+    - [E(m)^k mod n^2 = E(k * m)] — {!scalar_mul} *)
+
+type public_key
+type private_key
+
+type keypair = { public : public_key; private_ : private_key }
+
+val generate : ?bits:int -> Indaas_util.Prng.t -> keypair
+(** [generate g ~bits] creates a keypair with a [bits]-size modulus
+    (default 256; the paper used 1024 — see DESIGN.md substitution 3). *)
+
+val plaintext_space : public_key -> Indaas_bignum.Nat.t
+(** The modulus [n]; plaintexts live in \[0, n). *)
+
+val ciphertext_bytes : public_key -> int
+(** Wire size of one ciphertext (size of n^2). *)
+
+val encrypt :
+  Indaas_util.Prng.t -> public_key -> Indaas_bignum.Nat.t -> Indaas_bignum.Nat.t
+(** Randomized encryption of [m mod n]. *)
+
+val decrypt : keypair -> Indaas_bignum.Nat.t -> Indaas_bignum.Nat.t
+
+val add :
+  public_key -> Indaas_bignum.Nat.t -> Indaas_bignum.Nat.t -> Indaas_bignum.Nat.t
+(** Homomorphic addition of plaintexts. *)
+
+val scalar_mul :
+  public_key -> Indaas_bignum.Nat.t -> Indaas_bignum.Nat.t -> Indaas_bignum.Nat.t
+(** [scalar_mul pk k c] encrypts [k * m] when [c] encrypts [m]. *)
+
+val encrypt_zero : Indaas_util.Prng.t -> public_key -> Indaas_bignum.Nat.t
+(** Fresh randomized encryption of 0 (used for re-randomization). *)
+
+val rerandomize :
+  Indaas_util.Prng.t -> public_key -> Indaas_bignum.Nat.t -> Indaas_bignum.Nat.t
+(** Same plaintext, fresh randomness. *)

@@ -1,0 +1,1 @@
+lib/depdata/catalog.ml: Array Dependency Float Indaas_util List Printf String

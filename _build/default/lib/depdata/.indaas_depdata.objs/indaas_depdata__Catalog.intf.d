@@ -1,0 +1,1 @@
+lib/depdata/catalog.mli: Dependency Indaas_util

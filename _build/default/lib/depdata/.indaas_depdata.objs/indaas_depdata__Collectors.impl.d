@@ -1,0 +1,1 @@
+lib/depdata/collectors.ml: Catalog Depdb Dependency List

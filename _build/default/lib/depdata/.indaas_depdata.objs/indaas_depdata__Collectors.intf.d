@@ -1,0 +1,1 @@
+lib/depdata/collectors.mli: Catalog Depdb Dependency

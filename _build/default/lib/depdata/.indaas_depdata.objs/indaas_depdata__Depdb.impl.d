@@ -1,0 +1,1 @@
+lib/depdata/depdb.ml: Dependency Hashtbl List Set String

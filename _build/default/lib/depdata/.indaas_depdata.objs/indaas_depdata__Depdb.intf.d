@@ -1,0 +1,1 @@
+lib/depdata/depdb.mli: Dependency

@@ -1,0 +1,1 @@
+lib/depdata/dependency.ml: Format List Printf Stdlib String

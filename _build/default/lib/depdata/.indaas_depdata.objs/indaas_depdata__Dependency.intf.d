@@ -1,0 +1,1 @@
+lib/depdata/dependency.mli: Format

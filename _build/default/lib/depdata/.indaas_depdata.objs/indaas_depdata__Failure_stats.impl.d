@@ -1,0 +1,1 @@
+lib/depdata/failure_stats.ml: Hashtbl List Printf Set String

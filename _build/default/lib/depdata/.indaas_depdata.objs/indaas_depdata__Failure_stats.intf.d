@@ -1,0 +1,1 @@
+lib/depdata/failure_stats.mli:

@@ -1,0 +1,1 @@
+lib/depdata/flowmine.ml: Collectors Dependency Hashtbl List

@@ -1,0 +1,1 @@
+lib/depdata/flowmine.mli: Collectors Dependency

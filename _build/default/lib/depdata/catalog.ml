@@ -1,0 +1,136 @@
+type application = Riak | MongoDB | Redis | CouchDB
+
+let all_applications = [ Riak; MongoDB; Redis; CouchDB ]
+
+let application_name = function
+  | Riak -> "Riak"
+  | MongoDB -> "MongoDB"
+  | Redis -> "Redis"
+  | CouchDB -> "CouchDB"
+
+(* The four closures are unions of disjoint "regions": a base shared
+   by all four, regions shared by specific pairs/triples, and unique
+   remainders. Region sizes were solved so that the resulting Jaccard
+   similarities reproduce Table 2 of the paper:
+
+     base (all four)          15
+     Riak & MongoDB           25      Riak & Redis              8
+     Riak & CouchDB            3      MongoDB & Redis            1
+     MongoDB & CouchDB         0      Redis & CouchDB           12
+     Riak & MongoDB & Redis    2
+     unique: Riak 0, MongoDB 27, Redis 15, CouchDB 23
+
+   giving J(Riak,MongoDB) = 42/81 = 0.519 vs paper 0.5059 and so on,
+   with both the two-way and three-way rankings in Table 2 order. *)
+
+let base_system_packages =
+  [
+    "libc6-2.13"; "libgcc1-4.7"; "libstdc++6-4.7"; "zlib1g-1.2.7";
+    "libssl1.0.0"; "openssl-1.0.1"; "libcurl3-7.26"; "ca-certificates-2012";
+    "libpcre3-8.30"; "libreadline6-6.2"; "ncurses-base-5.9"; "libtinfo5-5.9";
+    "libselinux1-2.1"; "libattr1-2.4"; "coreutils-8.13";
+  ]
+
+(* Flavour names for the first few members of each region, padded with
+   generated package names to reach the solved size. *)
+let region prefix flavour size =
+  let flavour = List.filteri (fun i _ -> i < size) flavour in
+  let missing = size - List.length flavour in
+  flavour
+  @ List.init missing (fun i -> Printf.sprintf "lib%s-extra%d" prefix (i + 1))
+
+let riak_mongodb =
+  region "dbcommon"
+    [
+      "libsnappy1-1.0.4"; "libgoogle-perftools4"; "libboost-system1.49";
+      "libboost-thread1.49"; "libboost-filesystem1.49"; "libv8-3.8";
+      "libpcap0.8-1.3"; "libyaml-0.1.4"; "libjs-jquery-1.7";
+      "python-pymongo-2.2";
+    ]
+    25
+
+let riak_redis =
+  region "kvstore"
+    [ "libjemalloc1-3.0"; "liblua5.1-0"; "libatomic-ops1-7.2"; "libev4-4.11" ]
+    8
+
+let riak_couchdb =
+  region "erlangish" [ "libicu48-4.8"; "libmozjs185-1.0"; "erlang-base-15b" ] 3
+
+let mongodb_redis = region "mr" [ "libtcmalloc-minimal4" ] 1
+let mongodb_couchdb = region "mc" [] 0
+
+let redis_couchdb =
+  region "rc"
+    [
+      "libhiredis0.10"; "libjansson4-2.3"; "libuv0.10"; "libltdl7-2.4";
+      "libffi5-3.0";
+    ]
+    12
+
+let riak_mongodb_redis = region "rmr" [ "libprotobuf7-2.4"; "libleveldb1-1.9" ] 2
+
+let riak_unique = region "riak" [] 0
+
+let mongodb_unique =
+  region "mongodb"
+    [
+      "mongodb-clients-2.0"; "mongodb-server-2.0"; "libgoogle-glog0";
+      "libsasl2-2-2.1"; "libkrb5-3-1.10"; "libgssapi-krb5-2";
+    ]
+    27
+
+let redis_unique =
+  region "redis"
+    [ "redis-server-2.4"; "redis-tools-2.4"; "liblzf1-3.6" ]
+    15
+
+let couchdb_unique =
+  region "couchdb"
+    [
+      "couchdb-bin-1.2"; "erlang-crypto-15b"; "erlang-inets-15b";
+      "erlang-os-mon-15b"; "erlang-ssl-15b"; "erlang-xmerl-15b";
+    ]
+    23
+
+let packages app =
+  let regions =
+    match app with
+    | Riak ->
+        [ base_system_packages; riak_mongodb; riak_redis; riak_couchdb;
+          riak_mongodb_redis; riak_unique ]
+    | MongoDB ->
+        [ base_system_packages; riak_mongodb; mongodb_redis; mongodb_couchdb;
+          riak_mongodb_redis; mongodb_unique ]
+    | Redis ->
+        [ base_system_packages; riak_redis; mongodb_redis; redis_couchdb;
+          riak_mongodb_redis; redis_unique ]
+    | CouchDB ->
+        [ base_system_packages; riak_couchdb; mongodb_couchdb; redis_couchdb;
+          couchdb_unique ]
+  in
+  List.sort_uniq String.compare (List.concat regions)
+
+let software_dependency app ~host =
+  Dependency.software ~pgm:(application_name app) ~host ~deps:(packages app)
+
+let synthetic_sets g ~providers ~elements ~shared_fraction =
+  if providers <= 0 then invalid_arg "Catalog.synthetic_sets: providers";
+  if elements < 0 then invalid_arg "Catalog.synthetic_sets: elements";
+  if not (shared_fraction >= 0. && shared_fraction <= 1.) then
+    invalid_arg "Catalog.synthetic_sets: shared_fraction out of [0,1]";
+  let shared_count =
+    int_of_float (Float.round (shared_fraction *. float_of_int elements))
+  in
+  let shared =
+    List.init shared_count (fun i ->
+        Printf.sprintf "shared-component-%d-%06x" i
+          (Indaas_util.Prng.int g 0xFFFFFF))
+  in
+  Array.init providers (fun p ->
+      let unique =
+        List.init (elements - shared_count) (fun i ->
+            Printf.sprintf "provider%d-component-%d-%06x" p i
+              (Indaas_util.Prng.int g 0xFFFFFF))
+      in
+      shared @ unique)

@@ -1,0 +1,36 @@
+(** Software package catalog — the stand-in for running
+    [apt-rdepends] on live machines (paper §3, §6.2.3).
+
+    Ships the package dependency closures of the four key-value stores
+    of the §6.2.3 case study (Riak, MongoDB, Redis, CouchDB). The
+    overlap structure between the four closures was solved so that the
+    exact pairwise and three-way Jaccard similarities reproduce the
+    ordering (and closely approximate the values) of the paper's
+    Table 2. *)
+
+type application = Riak | MongoDB | Redis | CouchDB
+
+val all_applications : application list
+val application_name : application -> string
+
+val packages : application -> string list
+(** Full dependency closure (package names with versions), sorted. *)
+
+val software_dependency : application -> host:string -> Dependency.t
+(** The Table 1 software record for [application] deployed on
+    [host]. *)
+
+val base_system_packages : string list
+(** Packages shared by every application (libc6 and friends). *)
+
+val synthetic_sets :
+  Indaas_util.Prng.t ->
+  providers:int ->
+  elements:int ->
+  shared_fraction:float ->
+  string list array
+(** [synthetic_sets g ~providers ~elements ~shared_fraction] builds
+    [providers] component sets of [elements] identifiers each, of
+    which a [shared_fraction] is drawn from a common pool (appearing
+    in every set) and the rest are provider-unique — the workload
+    shape used for the Figure 8/9 protocol benchmarks. *)

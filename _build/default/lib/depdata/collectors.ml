@@ -1,0 +1,69 @@
+type t = { name : string; collect : unit -> Dependency.t list }
+
+let run modules =
+  let db = Depdb.create () in
+  List.iter (fun m -> Depdb.add_all db (m.collect ())) modules;
+  db
+
+let nsdminer ~routes =
+  {
+    name = "nsdminer";
+    collect =
+      (fun () ->
+        List.map
+          (fun (src, dst, route) -> Dependency.network ~src ~dst ~route)
+          routes);
+  }
+
+type machine_profile = {
+  machine : string;
+  cpu_model : string;
+  disk_model : string;
+  ram_model : string;
+  nic_model : string;
+}
+
+let standard_profile ?(cpu = "Intel(R)X5550@2.6GHz") ?(disk = "SED900")
+    ?(ram = "DDR3-1333-8GB") ?(nic = "82599ES-10G") machine =
+  { machine; cpu_model = cpu; disk_model = disk; ram_model = ram; nic_model = nic }
+
+let lshw profiles =
+  {
+    name = "lshw";
+    collect =
+      (fun () ->
+        List.concat_map
+          (fun p ->
+            (* Per-machine physical components get machine-prefixed
+               identifiers as in the paper's Figure 3: two machines
+               with the same disk model are distinct failure events,
+               unless reported via [shared_hardware]. *)
+            let dep model = p.machine ^ "-" ^ model in
+            [
+              Dependency.hardware ~hw:p.machine ~hw_type:"CPU" ~dep:(dep p.cpu_model);
+              Dependency.hardware ~hw:p.machine ~hw_type:"Disk" ~dep:(dep p.disk_model);
+              Dependency.hardware ~hw:p.machine ~hw_type:"RAM" ~dep:(dep p.ram_model);
+              Dependency.hardware ~hw:p.machine ~hw_type:"NIC" ~dep:(dep p.nic_model);
+            ])
+          profiles);
+  }
+
+let shared_hardware ~machines ~hw_type ~dep =
+  {
+    name = "lshw-shared";
+    collect =
+      (fun () ->
+        List.map (fun m -> Dependency.hardware ~hw:m ~hw_type ~dep) machines);
+  }
+
+let apt_rdepends deployments =
+  {
+    name = "apt-rdepends";
+    collect =
+      (fun () ->
+        List.map
+          (fun (app, host) -> Catalog.software_dependency app ~host)
+          deployments);
+  }
+
+let static ~name records = { name; collect = (fun () -> records) }

@@ -1,0 +1,58 @@
+(** Dependency acquisition modules (DAMs, paper §3).
+
+    The paper's prototype shells out to NSDMiner (network traffic
+    analysis), HardwareLister/lshw (hardware inventory) and
+    apt-rdepends (package closures). A sealed container has no live
+    traffic, hardware variety, or package manager, so these modules
+    {e simulate} the same collectors from explicit models, emitting
+    byte-identical Table 1 records (DESIGN.md substitution 1). *)
+
+type t = {
+  name : string;  (** e.g. ["nsdminer"] *)
+  collect : unit -> Dependency.t list;
+}
+(** A pluggable acquisition module: invoked by a data source, returns
+    adapted records for the DepDB. *)
+
+val run : t list -> Depdb.t
+(** Runs each module and stores all records in a fresh DepDB, as a
+    data source does in Step 3 of the paper's workflow. *)
+
+(** {1 The three simulated collectors} *)
+
+val nsdminer : routes:(string * string * string list) list -> t
+(** [nsdminer ~routes] simulates NSDMiner output: each
+    [(src, dst, devices)] triple becomes a network record. *)
+
+type machine_profile = {
+  machine : string;
+  cpu_model : string;
+  disk_model : string;
+  ram_model : string;
+  nic_model : string;
+}
+
+val standard_profile :
+  ?cpu:string -> ?disk:string -> ?ram:string -> ?nic:string -> string ->
+  machine_profile
+(** A machine with common defaults (Intel X5550 CPU, SED900 disk, ...)
+    matching the paper's Figure 3 examples. *)
+
+val lshw : machine_profile list -> t
+(** Simulates HardwareLister: one hardware record per component of
+    each machine. Component model identifiers are prefixed with the
+    machine name, mirroring Figure 3
+    (["S1-Intel(R)X5550@2.6GHz"]). *)
+
+val shared_hardware : machines:string list -> hw_type:string -> dep:string -> t
+(** A collector reporting one physical component shared by several
+    machines under the {e same} identifier — how rack-level PDUs or a
+    shared hypervisor host enter the dependency data. *)
+
+val apt_rdepends : (Catalog.application * string) list -> t
+(** [apt_rdepends [(app, host); ...]] simulates package-closure
+    extraction for each deployed application. *)
+
+val static : name:string -> Dependency.t list -> t
+(** Wraps pre-existing records (e.g. parsed from a file) as a
+    module. *)

@@ -1,0 +1,122 @@
+type network = { src : string; dst : string; route : string list }
+type hardware = { hw : string; hw_type : string; dep : string }
+type software = { pgm : string; host : string; deps : string list }
+
+type t =
+  | Network of network
+  | Hardware of hardware
+  | Software of software
+
+let network ~src ~dst ~route = Network { src; dst; route }
+let hardware ~hw ~hw_type ~dep = Hardware { hw; hw_type; dep }
+let software ~pgm ~host ~deps = Software { pgm; host; deps }
+
+let quote s =
+  (* The wire format does not support embedded quotes. *)
+  if String.contains s '"' then
+    invalid_arg "Dependency: attribute value contains a quote";
+  "\"" ^ s ^ "\""
+
+let to_xml = function
+  | Network { src; dst; route } ->
+      Printf.sprintf "<src=%s dst=%s route=%s/>" (quote src) (quote dst)
+        (quote (String.concat "," route))
+  | Hardware { hw; hw_type; dep } ->
+      Printf.sprintf "<hw=%s type=%s dep=%s/>" (quote hw) (quote hw_type)
+        (quote dep)
+  | Software { pgm; host; deps } ->
+      Printf.sprintf "<pgm=%s hw=%s dep=%s/>" (quote pgm) (quote host)
+        (quote (String.concat "," deps))
+
+let to_xml_many records = String.concat "\n" (List.map to_xml records)
+
+(* --- parsing ------------------------------------------------------- *)
+
+(* Parse [key="value"] pairs from the inside of a tag. *)
+let parse_attributes body =
+  let n = String.length body in
+  let attrs = ref [] in
+  let i = ref 0 in
+  let fail msg = failwith (Printf.sprintf "Dependency.of_xml: %s in %S" msg body) in
+  while !i < n do
+    while !i < n && (body.[!i] = ' ' || body.[!i] = '\t') do incr i done;
+    if !i < n then begin
+      let key_start = !i in
+      while !i < n && body.[!i] <> '=' do incr i done;
+      if !i >= n then fail "missing '='";
+      let key = String.trim (String.sub body key_start (!i - key_start)) in
+      incr i;
+      if !i >= n || body.[!i] <> '"' then fail "missing opening quote";
+      incr i;
+      let value_start = !i in
+      while !i < n && body.[!i] <> '"' do incr i done;
+      if !i >= n then fail "missing closing quote";
+      let value = String.sub body value_start (!i - value_start) in
+      incr i;
+      attrs := (key, value) :: !attrs
+    end
+  done;
+  List.rev !attrs
+
+let split_commas s =
+  if String.trim s = "" then []
+  else List.map String.trim (String.split_on_char ',' s)
+
+let of_attributes attrs =
+  let find key =
+    match List.assoc_opt key attrs with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "Dependency.of_xml: missing %S attribute" key)
+  in
+  match attrs with
+  | ("src", _) :: _ ->
+      Network { src = find "src"; dst = find "dst"; route = split_commas (find "route") }
+  | ("hw", _) :: _ ->
+      Hardware { hw = find "hw"; hw_type = find "type"; dep = find "dep" }
+  | ("pgm", _) :: _ ->
+      Software { pgm = find "pgm"; host = find "hw"; deps = split_commas (find "dep") }
+  | (other, _) :: _ ->
+      failwith (Printf.sprintf "Dependency.of_xml: unknown record type %S" other)
+  | [] -> failwith "Dependency.of_xml: empty tag"
+
+let of_xml s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n < 2 || s.[0] <> '<' || s.[n - 1] <> '>' then
+    failwith (Printf.sprintf "Dependency.of_xml: not a tag: %S" s);
+  let stop = if n >= 3 && s.[n - 2] = '/' then n - 2 else n - 1 in
+  of_attributes (parse_attributes (String.sub s 1 (stop - 1)))
+
+let of_xml_many doc =
+  (* One record per '<...>' group; everything outside tags is
+     ignored (separators, prose). *)
+  let records = ref [] in
+  let n = String.length doc in
+  let i = ref 0 in
+  while !i < n do
+    match String.index_from_opt doc !i '<' with
+    | None -> i := n
+    | Some start -> (
+        match String.index_from_opt doc start '>' with
+        | None -> failwith "Dependency.of_xml_many: unterminated tag"
+        | Some stop ->
+            let tag = String.sub doc start (stop - start + 1) in
+            records := of_xml tag :: !records;
+            i := stop + 1)
+  done;
+  List.rev !records
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let pp fmt t = Format.pp_print_string fmt (to_xml t)
+
+let subject = function
+  | Network { src; _ } -> src
+  | Hardware { hw; _ } -> hw
+  | Software { host; _ } -> host
+
+let components = function
+  | Network { route; _ } -> route
+  | Hardware { dep; _ } -> [ dep ]
+  | Software { deps; _ } -> deps

@@ -1,0 +1,61 @@
+(** Structural dependency records — the uniform representation that
+    dependency acquisition modules emit (paper §3, Table 1).
+
+    Three record types cover the paper's three most common causes of
+    correlated failures: network routes, hardware components, and
+    software packages. *)
+
+type network = {
+  src : string;  (** source endpoint, e.g. a server *)
+  dst : string;  (** destination, e.g. ["Internet"] *)
+  route : string list;  (** intermediate devices, in order *)
+}
+
+type hardware = {
+  hw : string;  (** owning machine *)
+  hw_type : string;  (** CPU, Disk, RAM, NIC, ... *)
+  dep : string;  (** component model identifier *)
+}
+
+type software = {
+  pgm : string;  (** the software component *)
+  host : string;  (** machine it runs on (the [hw] attribute) *)
+  deps : string list;  (** packages/libraries it depends on *)
+}
+
+type t =
+  | Network of network
+  | Hardware of hardware
+  | Software of software
+
+val network : src:string -> dst:string -> route:string list -> t
+val hardware : hw:string -> hw_type:string -> dep:string -> t
+val software : pgm:string -> host:string -> deps:string list -> t
+
+val to_xml : t -> string
+(** Renders one record in the Table 1 wire format, e.g.
+    [<src="S1" dst="Internet" route="ToR1,Core1"/>]. *)
+
+val of_xml : string -> t
+(** Parses one record. Accepts both self-closing ([/>]) and plain
+    ([>]) tags as in the paper's Figure 3. Raises [Failure] with a
+    diagnostic on malformed input. *)
+
+val to_xml_many : t list -> string
+(** One record per line. *)
+
+val of_xml_many : string -> t list
+(** Parses a whole document: one record per [<...>] group; blank lines
+    and [---] separators are ignored. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val subject : t -> string
+(** The machine this record is about: [src] for network records, [hw]
+    for hardware records, [host] for software records. *)
+
+val components : t -> string list
+(** The component identifiers this record names as dependencies:
+    route devices, hardware model, or package names. *)

@@ -1,0 +1,92 @@
+type event = {
+  component : string;
+  component_type : string;
+  day : int;
+}
+
+type estimate = {
+  etype : string;
+  population : int;
+  failed : int;
+  probability : float;
+}
+
+module SS = Set.Make (String)
+
+let estimate_by_type ~window_days ~population events =
+  if window_days <= 0 then
+    invalid_arg "Failure_stats.estimate_by_type: window_days must be positive";
+  List.iter
+    (fun (etype, count) ->
+      if count <= 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Failure_stats.estimate_by_type: population of %S must be positive"
+             etype))
+    population;
+  let known = List.map fst population in
+  List.iter
+    (fun e ->
+      if not (List.mem e.component_type known) then
+        invalid_arg
+          (Printf.sprintf "Failure_stats.estimate_by_type: unknown type %S"
+             e.component_type);
+      if e.day < 0 || e.day >= window_days then
+        invalid_arg "Failure_stats.estimate_by_type: event outside window")
+    events;
+  List.map
+    (fun (etype, count) ->
+      let distinct_failed =
+        List.fold_left
+          (fun acc e ->
+            if e.component_type = etype then SS.add e.component acc else acc)
+          SS.empty events
+        |> SS.cardinal
+      in
+      let failed = min distinct_failed count in
+      {
+        etype;
+        population = count;
+        failed;
+        probability = float_of_int failed /. float_of_int count;
+      })
+    population
+
+let probability_of estimates ~component_type =
+  List.find_map
+    (fun e -> if e.etype = component_type then Some e.probability else None)
+    estimates
+
+let probability_of_cvss ?(exploit_rate = 0.1) score =
+  if not (score >= 0. && score <= 10.) then
+    invalid_arg "Failure_stats.probability_of_cvss: score out of [0, 10]";
+  if not (exploit_rate >= 0. && exploit_rate <= 1.) then
+    invalid_arg "Failure_stats.probability_of_cvss: exploit_rate out of [0, 1]";
+  exploit_rate *. score /. 10.
+
+let cvss_table assignments =
+  let tbl = Hashtbl.create (List.length assignments) in
+  List.iter
+    (fun (pkg, score) -> Hashtbl.replace tbl pkg (probability_of_cvss score))
+    assignments;
+  fun pkg -> Hashtbl.find_opt tbl pkg
+
+let classify_by_prefix rules component =
+  List.find_map
+    (fun (prefix, etype) ->
+      let plen = String.length prefix in
+      if String.length component >= plen && String.sub component 0 plen = prefix
+      then Some etype
+      else None)
+    rules
+
+let lookup ?default ~device_types ~device_estimates ~software component =
+  match software component with
+  | Some p -> Some p
+  | None -> (
+      match device_types component with
+      | Some etype -> (
+          match probability_of device_estimates ~component_type:etype with
+          | Some p -> Some p
+          | None -> default)
+      | None -> default)

@@ -1,0 +1,75 @@
+(** Failure-probability acquisition (paper §5.1).
+
+    The fault-set and weighted-fault-graph levels of detail need
+    per-component failure probabilities, which the paper leaves to
+    external sources and sketches two of:
+
+    - {b Gill et al. (SIGCOMM 2011)}: estimate a device type's
+      probability of failure over a period as the number of devices of
+      that type that failed at least once during the period divided by
+      the deployed population of the type.
+    - {b CVSS}: use vulnerability scores as a proxy for software
+      package failure likelihood.
+
+    This module implements both estimators plus the plumbing that
+    turns them into the [component_probability] callback the SIA
+    builder consumes. *)
+
+(** {1 Event-log estimation (hardware / network devices)} *)
+
+type event = {
+  component : string;  (** failed component identifier *)
+  component_type : string;  (** e.g. ["ToR"], ["AggSwitch"], ["Core"] *)
+  day : int;  (** observation day, 0-based within the window *)
+}
+
+type estimate = {
+  etype : string;
+  population : int;
+  failed : int;  (** distinct components that failed at least once *)
+  probability : float;  (** failed / population *)
+}
+
+val estimate_by_type :
+  window_days:int -> population:(string * int) list -> event list -> estimate list
+(** [estimate_by_type ~window_days ~population events] computes one
+    estimate per component type in [population] from events observed
+    during the window. Events for unknown types and events outside
+    [0, window_days) are rejected with [Invalid_argument]; a type's
+    failed count is capped by its population (re-failures of the same
+    component do not double count). *)
+
+val probability_of : estimate list -> component_type:string -> float option
+
+(** {1 CVSS-based estimation (software packages)} *)
+
+val probability_of_cvss : ?exploit_rate:float -> float -> float
+(** [probability_of_cvss score] maps a CVSS base score in \[0, 10\] to
+    a failure probability: [exploit_rate * score / 10] (default
+    [exploit_rate] 0.1 — at most a 10% chance that a maximally-severe
+    vulnerable package causes an outage over the period). Raises
+    [Invalid_argument] outside \[0, 10\]. *)
+
+val cvss_table : (string * float) list -> string -> float option
+(** [cvss_table assignments] turns per-package CVSS scores into a
+    probability lookup, [None] for unlisted packages. *)
+
+(** {1 Composition} *)
+
+val classify_by_prefix :
+  (string * string) list -> string -> string option
+(** [classify_by_prefix rules component] returns the type of the first
+    rule whose prefix matches, e.g.
+    [classify_by_prefix [("tor", "ToR"); ("core", "Core")] "tor12"]
+    is [Some "ToR"]. *)
+
+val lookup :
+  ?default:float ->
+  device_types:(string -> string option) ->
+  device_estimates:estimate list ->
+  software:(string -> float option) ->
+  string ->
+  float option
+(** Combine the estimators into a [component_probability] callback:
+    software lookup first, then device-type classification and
+    estimates, then [default] (if any). *)

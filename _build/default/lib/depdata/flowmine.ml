@@ -1,0 +1,70 @@
+type observation = {
+  flow : int;
+  src : string;
+  dst : string;
+  device : string;
+  hop : int;
+}
+
+type mined_route = {
+  route_src : string;
+  route_dst : string;
+  devices : string list;
+  occurrences : int;
+}
+
+let reconstruct observations =
+  (* flow id -> observations *)
+  let by_flow = Hashtbl.create 64 in
+  List.iter
+    (fun o ->
+      let existing =
+        match Hashtbl.find_opt by_flow o.flow with Some l -> l | None -> []
+      in
+      Hashtbl.replace by_flow o.flow (o :: existing))
+    observations;
+  (* route key -> count *)
+  let routes = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ obs ->
+      let sorted = List.sort (fun a b -> compare a.hop b.hop) obs in
+      (* corrupt if two observations claim the same hop, or the flow's
+         endpoints disagree *)
+      let rec consistent = function
+        | a :: (b :: _ as rest) ->
+            a.hop <> b.hop && a.src = b.src && a.dst = b.dst && consistent rest
+        | [ _ ] | [] -> true
+      in
+      if consistent sorted then
+        match sorted with
+        | [] -> ()
+        | first :: _ ->
+            let key =
+              (first.src, first.dst, List.map (fun o -> o.device) sorted)
+            in
+            let count =
+              match Hashtbl.find_opt routes key with Some c -> c | None -> 0
+            in
+            Hashtbl.replace routes key (count + 1))
+    by_flow;
+  Hashtbl.fold
+    (fun (route_src, route_dst, devices) occurrences acc ->
+      { route_src; route_dst; devices; occurrences } :: acc)
+    routes []
+  |> List.sort (fun a b ->
+         match compare b.occurrences a.occurrences with
+         | 0 -> compare (a.route_src, a.route_dst, a.devices) (b.route_src, b.route_dst, b.devices)
+         | c -> c)
+
+let mine ?(min_occurrences = 2) observations =
+  if min_occurrences < 1 then invalid_arg "Flowmine.mine: min_occurrences";
+  reconstruct observations
+  |> List.filter (fun r -> r.occurrences >= min_occurrences)
+  |> List.map (fun r ->
+         Dependency.network ~src:r.route_src ~dst:r.route_dst ~route:r.devices)
+
+let collector ?min_occurrences observations =
+  {
+    Collectors.name = "nsdminer-flows";
+    Collectors.collect = (fun () -> mine ?min_occurrences observations);
+  }

@@ -1,0 +1,40 @@
+(** Network-dependency mining from traffic observations — a working
+    model of what NSDMiner does (paper §3).
+
+    The real NSDMiner watches traffic at network devices and infers
+    which routes a service's flows take. Here each device that sees a
+    packet of a flow contributes an {e observation} (flow id, device,
+    hop index); the miner groups observations per flow, reconstructs
+    the device sequence, aggregates identical routes across flows, and
+    emits Table 1 network records for the routes seen often enough to
+    be trusted (rare routes are treated as noise — mirroring
+    NSDMiner's occurrence thresholds). *)
+
+type observation = {
+  flow : int;  (** flow identifier *)
+  src : string;  (** originating server *)
+  dst : string;  (** destination, e.g. ["Internet"] *)
+  device : string;  (** observing network device *)
+  hop : int;  (** position of the device on the path, 0-based *)
+}
+
+type mined_route = {
+  route_src : string;
+  route_dst : string;
+  devices : string list;  (** in hop order *)
+  occurrences : int;  (** flows that followed this exact route *)
+}
+
+val reconstruct : observation list -> mined_route list
+(** Groups by flow, orders by hop, aggregates identical routes.
+    Flows with conflicting observations (two devices claiming the
+    same hop) are discarded as corrupt. Routes are returned in
+    decreasing occurrence order. *)
+
+val mine : ?min_occurrences:int -> observation list -> Dependency.t list
+(** [mine observations] reconstructs and keeps routes seen at least
+    [min_occurrences] times (default 2), as network dependency
+    records. *)
+
+val collector : ?min_occurrences:int -> observation list -> Collectors.t
+(** Packages the miner as a dependency acquisition module. *)

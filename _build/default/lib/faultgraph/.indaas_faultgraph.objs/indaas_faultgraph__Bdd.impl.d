@@ -1,0 +1,1 @@
+lib/faultgraph/bdd.ml: Array Graph Hashtbl List Probability

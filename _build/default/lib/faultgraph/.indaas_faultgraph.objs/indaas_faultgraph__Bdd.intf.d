@@ -1,0 +1,1 @@
+lib/faultgraph/bdd.mli: Graph

@@ -1,0 +1,1 @@
+lib/faultgraph/compose.ml: Array Graph Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/faultgraph/compose.mli: Graph

@@ -1,0 +1,1 @@
+lib/faultgraph/cutset.ml: Array Graph Hashtbl Int List Set

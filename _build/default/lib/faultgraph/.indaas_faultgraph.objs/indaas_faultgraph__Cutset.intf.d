@@ -1,0 +1,1 @@
+lib/faultgraph/cutset.mli: Graph

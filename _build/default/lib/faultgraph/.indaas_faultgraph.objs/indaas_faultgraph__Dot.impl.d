@@ -1,0 +1,1 @@
+lib/faultgraph/dot.ml: Array Buffer Fun Graph Int Printf Set String

@@ -1,0 +1,1 @@
+lib/faultgraph/dot.mli: Cutset Graph

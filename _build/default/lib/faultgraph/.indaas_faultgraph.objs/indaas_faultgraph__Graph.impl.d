@@ -1,0 +1,1 @@
+lib/faultgraph/graph.ml: Array Format Hashtbl List Option Printf Set String

@@ -1,0 +1,1 @@
+lib/faultgraph/graph.mli: Format

@@ -1,0 +1,1 @@
+lib/faultgraph/importance.ml: Array Bdd Graph Indaas_util List Printf Probability

@@ -1,0 +1,1 @@
+lib/faultgraph/importance.mli: Cutset Graph

@@ -1,0 +1,1 @@
+lib/faultgraph/lifetime.ml: Array Graph Hashtbl Indaas_util List

@@ -1,0 +1,1 @@
+lib/faultgraph/lifetime.mli: Graph Indaas_util

@@ -1,0 +1,1 @@
+lib/faultgraph/probability.ml: Array Graph Hashtbl Indaas_util List

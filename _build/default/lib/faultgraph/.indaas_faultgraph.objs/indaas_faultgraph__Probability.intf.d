@@ -1,0 +1,1 @@
+lib/faultgraph/probability.mli: Cutset Graph Indaas_util

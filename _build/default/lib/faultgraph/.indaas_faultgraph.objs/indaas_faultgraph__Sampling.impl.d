@@ -1,0 +1,1 @@
+lib/faultgraph/sampling.ml: Array Cutset Graph Indaas_util List Unix

@@ -1,0 +1,1 @@
+lib/faultgraph/sampling.mli: Cutset Graph Indaas_util

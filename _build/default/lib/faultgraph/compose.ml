@@ -1,0 +1,48 @@
+(* Both operations rebuild into a fresh builder, copying each source
+   graph's reachable cone. Basic events merge by name; gate nodes are
+   always duplicated (their names carry no identity). *)
+
+let copy_into b ?(substitute = fun _ _ -> None) g =
+  let mapping = Hashtbl.create 64 in
+  Array.iter
+    (fun id ->
+      let n = Graph.node g id in
+      let new_id =
+        match substitute n.Graph.name n.Graph.kind with
+        | Some forced -> forced
+        | None -> (
+            match n.Graph.kind with
+            | Graph.Basic prob -> Graph.Builder.add_basic b ?prob n.Graph.name
+            | Graph.Gate gate ->
+                let children =
+                  Array.to_list
+                    (Array.map (fun c -> Hashtbl.find mapping c) n.Graph.children)
+                in
+                Graph.Builder.add_gate b ~name:n.Graph.name gate children)
+      in
+      Hashtbl.replace mapping id new_id)
+    (Graph.topological_order g);
+  Hashtbl.find mapping (Graph.top g)
+
+let compose ~name gate graphs =
+  if graphs = [] then invalid_arg "Compose.compose: empty list";
+  let b = Graph.Builder.create () in
+  let tops = List.map (fun g -> copy_into b g) graphs in
+  let top = Graph.Builder.add_gate b ~name gate tops in
+  Graph.Builder.build b ~top
+
+let replace_basic_with g ~basic sub =
+  (match Graph.find_basic g basic with
+  | Some _ -> ()
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Compose.replace_basic_with: no basic event %S" basic));
+  let b = Graph.Builder.create () in
+  let sub_top = copy_into b sub in
+  let substitute nm kind =
+    match kind with
+    | Graph.Basic _ when nm = basic -> Some sub_top
+    | Graph.Basic _ | Graph.Gate _ -> None
+  in
+  let top = copy_into b ~substitute g in
+  Graph.Builder.build b ~top

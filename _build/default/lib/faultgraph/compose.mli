@@ -1,0 +1,23 @@
+(** Composition of fault graphs (paper §4.1.1, “dependency graph
+    composition”; details in the companion technical report).
+
+    Composing the graphs of individual services yields the aggregate
+    graph of a deployment that uses them together — e.g. EC2 instances
+    depending on both EBS and ELB. Basic events with equal names are
+    identified across the composed graphs, which is how shared
+    components (and hence cross-service correlated failures) surface. *)
+
+val compose : name:string -> Graph.gate -> Graph.t list -> Graph.t
+(** [compose ~name gate graphs] builds a new graph whose top event
+    [name] combines the top events of [graphs] under [gate]. Basic
+    events are merged by name (probabilities must agree; a missing
+    probability defers to the other graph's). Raises
+    [Invalid_argument] on an empty list or conflicting
+    probabilities. *)
+
+val replace_basic_with : Graph.t -> basic:string -> Graph.t -> Graph.t
+(** [replace_basic_with g ~basic sub] refines [g] by substituting the
+    basic event named [basic] with the whole graph [sub] (its top
+    event takes the basic event's place) — modelling e.g. “this
+    storage backend is itself a redundant system”. Raises
+    [Invalid_argument] if [basic] is not a basic event of [g]. *)

@@ -1,0 +1,232 @@
+type rg = Graph.node_id array
+
+exception Too_many_cut_sets of int
+
+(* --- sorted-int-array set operations ------------------------------ *)
+
+let is_subset (a : rg) (b : rg) =
+  (* a ⊆ b, both sorted ascending *)
+  let la = Array.length a and lb = Array.length b in
+  if la > lb then false
+  else begin
+    let i = ref 0 and j = ref 0 in
+    while !i < la && !j < lb do
+      if a.(!i) = b.(!j) then begin
+        incr i;
+        incr j
+      end
+      else if a.(!i) > b.(!j) then incr j
+      else j := lb (* a.(!i) missing from b *)
+    done;
+    !i = la
+  end
+
+let union (a : rg) (b : rg) : rg =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < la || !j < lb do
+    let take_a =
+      !j >= lb || (!i < la && a.(!i) <= b.(!j))
+    in
+    if take_a then begin
+      let v = a.(!i) in
+      if !j < lb && b.(!j) = v then incr j;
+      out.(!k) <- v;
+      incr i;
+      incr k
+    end
+    else begin
+      out.(!k) <- b.(!j);
+      incr j;
+      incr k
+    end
+  done;
+  if !k = la + lb then out else Array.sub out 0 !k
+
+(* --- minimization (absorption) ------------------------------------ *)
+
+module RgTbl = Hashtbl.Make (struct
+  type t = rg
+
+  let equal (a : rg) (b : rg) = a = b
+  let hash (a : rg) = Hashtbl.hash a
+end)
+
+(* Does the collection contain a (proper or improper) subset of [s]?
+   Two strategies: enumerate the 2^|s| sub-masks of [s] and probe the
+   hash table, or scan the accepted sets directly — whichever is
+   cheaper for the current sizes. Accepted sets are additionally
+   bucketed by their smallest element, so the scan only visits sets
+   whose minimum occurs in [s]. *)
+let enum_limit = 20
+
+let has_subset_in tbl by_min accepted_count s =
+  let n = Array.length s in
+  let enum_cost = if n >= enum_limit then max_int else 1 lsl n in
+  if enum_cost <= accepted_count * 4 then begin
+    (* Iterate over non-empty sub-masks. *)
+    let found = ref false in
+    let total = 1 lsl n in
+    let mask = ref 1 in
+    while (not !found) && !mask < total do
+      let count = ref 0 in
+      for i = 0 to n - 1 do
+        if !mask land (1 lsl i) <> 0 then incr count
+      done;
+      let sub = Array.make !count 0 in
+      let k = ref 0 in
+      for i = 0 to n - 1 do
+        if !mask land (1 lsl i) <> 0 then begin
+          sub.(!k) <- s.(i);
+          incr k
+        end
+      done;
+      if RgTbl.mem tbl sub then found := true;
+      incr mask
+    done;
+    !found
+  end
+  else
+    (* Any accepted subset of [s] has its minimum element in [s]. *)
+    Array.exists
+      (fun x ->
+        match Hashtbl.find_opt by_min x with
+        | None -> false
+        | Some sets -> List.exists (fun t -> is_subset t s) sets)
+      s
+
+(* Keep only the minimal sets of a family. *)
+let minimize (family : rg list) : rg list =
+  let sorted =
+    List.sort (fun a b -> compare (Array.length a) (Array.length b)) family
+  in
+  let tbl = RgTbl.create (List.length family) in
+  let by_min : (int, rg list) Hashtbl.t = Hashtbl.create 64 in
+  let accepted = ref [] in
+  let accepted_count = ref 0 in
+  List.iter
+    (fun s ->
+      if
+        (not (RgTbl.mem tbl s))
+        && not (has_subset_in tbl by_min !accepted_count s)
+      then begin
+        RgTbl.replace tbl s ();
+        (match Array.length s with
+        | 0 -> ()
+        | _ ->
+            let min_elt = s.(0) in
+            let bucket =
+              match Hashtbl.find_opt by_min min_elt with
+              | Some l -> l
+              | None -> []
+            in
+            Hashtbl.replace by_min min_elt (s :: bucket));
+        accepted := s :: !accepted;
+        incr accepted_count
+      end)
+    sorted;
+  List.rev !accepted
+
+(* --- family combination ------------------------------------------- *)
+
+let check_budget ~max_family n =
+  if n > max_family then raise (Too_many_cut_sets n)
+
+let or_combine ~max_family families =
+  let all = List.concat families in
+  check_budget ~max_family (List.length all);
+  minimize all
+
+let and_combine ~max_size ~max_family families =
+  let product f1 f2 =
+    let out = ref [] in
+    let n = ref 0 in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            let u = union a b in
+            if Array.length u <= max_size then begin
+              out := u :: !out;
+              incr n;
+              check_budget ~max_family !n
+            end)
+          f2)
+      f1;
+    minimize !out
+  in
+  match families with
+  | [] -> invalid_arg "Cutset.and_combine: empty"
+  | first :: rest -> List.fold_left product first rest
+
+(* Enumerate k-subsets of a list, calling [f] on each. *)
+let iter_ksubsets k xs f =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let chosen = Array.make k 0 in
+  let rec go start depth =
+    if depth = k then f (Array.to_list (Array.map (fun i -> arr.(i)) chosen))
+    else
+      for i = start to n - (k - depth) do
+        chosen.(depth) <- i;
+        go (i + 1) (depth + 1)
+      done
+  in
+  if k >= 0 && k <= n then go 0 0
+
+let minimal_risk_groups ?(max_size = max_int) ?(max_family = 500_000) g =
+  let memo : rg list option array = Array.make (Graph.node_count g) None in
+  Array.iter
+    (fun id ->
+      let n = Graph.node g id in
+      let family =
+        match n.Graph.kind with
+        | Graph.Basic _ -> [ [| id |] ]
+        | Graph.Gate gate ->
+            let child_families =
+              Array.to_list
+                (Array.map
+                   (fun c ->
+                     match memo.(c) with
+                     | Some f -> f
+                     | None -> assert false (* topological order *))
+                   n.Graph.children)
+            in
+            (match gate with
+            | Graph.Or -> or_combine ~max_family child_families
+            | Graph.And -> and_combine ~max_size ~max_family child_families
+            | Graph.Kofn k ->
+                let acc = ref [] in
+                iter_ksubsets k child_families (fun subset ->
+                    let f = and_combine ~max_size ~max_family subset in
+                    acc := f :: !acc);
+                or_combine ~max_family !acc)
+      in
+      memo.(id) <- Some family)
+    (Graph.topological_order g);
+  match memo.(Graph.top g) with Some f -> f | None -> assert false
+
+let names g rg = Array.to_list (Array.map (fun id -> Graph.name_of g id) rg)
+
+let is_risk_group g ids =
+  let module IS = Set.Make (Int) in
+  let set = IS.of_list ids in
+  Graph.evaluate g ~failed:(fun id -> IS.mem id set)
+
+let is_minimal_risk_group g ids =
+  is_risk_group g ids
+  && List.for_all
+       (fun removed ->
+         not (is_risk_group g (List.filter (fun x -> x <> removed) ids)))
+       ids
+
+module RgSet = struct
+  type t = unit RgTbl.t
+
+  let create () = RgTbl.create 256
+  let add t rg = RgTbl.replace t rg ()
+  let mem t rg = RgTbl.mem t rg
+  let cardinal t = RgTbl.length t
+  let to_list t = RgTbl.fold (fun k () acc -> k :: acc) t []
+end

@@ -1,0 +1,58 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_dot ?(highlight = [||]) g =
+  let module IS = Set.Make (Int) in
+  let marked = IS.of_list (Array.to_list highlight) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph fault_graph {\n  rankdir=BT;\n";
+  Array.iter
+    (fun id ->
+      let n = Graph.node g id in
+      let shape, label =
+        match n.Graph.kind with
+        | Graph.Basic None -> ("box", escape n.Graph.name)
+        | Graph.Basic (Some p) ->
+            ("box", Printf.sprintf "%s\\np=%.4g" (escape n.Graph.name) p)
+        | Graph.Gate Graph.And ->
+            ("ellipse", Printf.sprintf "%s\\nAND" (escape n.Graph.name))
+        | Graph.Gate Graph.Or ->
+            ("ellipse", Printf.sprintf "%s\\nOR" (escape n.Graph.name))
+        | Graph.Gate (Graph.Kofn k) ->
+            ("ellipse", Printf.sprintf "%s\\n%d-of-%d" (escape n.Graph.name) k
+               (Array.length n.Graph.children))
+      in
+      let extra =
+        (if id = Graph.top g then ", peripheries=2" else "")
+        ^
+        if IS.mem id marked then ", style=filled, fillcolor=\"#ff9999\""
+        else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [shape=%s, label=\"%s\"%s];\n" id shape label
+           extra))
+    (Graph.topological_order g);
+  Array.iter
+    (fun id ->
+      let n = Graph.node g id in
+      Array.iter
+        (fun c -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" c id))
+        n.Graph.children)
+    (Graph.topological_order g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ?highlight path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?highlight g))

@@ -1,0 +1,10 @@
+(** Graphviz (DOT) export of fault graphs, for inspecting audits. *)
+
+val to_dot : ?highlight:Cutset.rg -> Graph.t -> string
+(** Renders the cone of the top event. Basic events are boxes
+    (annotated with their failure probability when present), gates are
+    ellipses labelled AND/OR/k-of-n, and the top event is drawn with a
+    double border. Events in [highlight] are filled red. *)
+
+val write_file : ?highlight:Cutset.rg -> string -> Graph.t -> unit
+(** [write_file path g] writes [to_dot g] to [path]. *)

@@ -1,0 +1,240 @@
+type node_id = int
+
+type gate = And | Or | Kofn of int
+
+type node_kind = Basic of float option | Gate of gate
+
+type node = {
+  id : node_id;
+  name : string;
+  kind : node_kind;
+  children : node_id array;
+}
+
+type t = {
+  nodes : node array;
+  top_id : node_id;
+  order : node_id array; (* topological, children first, reachable only *)
+  reachable_basics : node_id array;
+  basic_index : (string, node_id) Hashtbl.t;
+}
+
+module Builder = struct
+  type graph = t
+
+  type t = {
+    mutable acc : node list; (* reversed *)
+    mutable count : int;
+    basics : (string, node_id * float option) Hashtbl.t;
+  }
+
+  let create () = { acc = []; count = 0; basics = Hashtbl.create 64 }
+
+  let check_prob = function
+    | Some p when not (p >= 0. && p <= 1.) ->
+        invalid_arg "Builder.add_basic: probability out of [0,1]"
+    | _ -> ()
+
+  let add_basic b ?prob name =
+    check_prob prob;
+    match Hashtbl.find_opt b.basics name with
+    | Some (id, p0) ->
+        (* Shared component: must agree with the original declaration. *)
+        (match (p0, prob) with
+        | _, None -> ()
+        | Some p0, Some p when p0 = p -> ()
+        | None, Some _ ->
+            invalid_arg
+              (Printf.sprintf
+                 "Builder.add_basic: %S re-added with a probability" name)
+        | Some _, Some _ ->
+            invalid_arg
+              (Printf.sprintf
+                 "Builder.add_basic: %S re-added with a different probability"
+                 name));
+        id
+    | None ->
+        let id = b.count in
+        b.count <- id + 1;
+        b.acc <- { id; name; kind = Basic prob; children = [||] } :: b.acc;
+        Hashtbl.add b.basics name (id, prob);
+        id
+
+  (* Gate names are labels only (risk groups report basic-event
+     names), so a gate may share its name with a basic event — e.g. a
+     VM appears both as an instance failure leaf and as the gate
+     aggregating its dependencies. *)
+  let add_gate b ~name gate children =
+    if children = [] then invalid_arg "Builder.add_gate: no children";
+    let n_children = List.length children in
+    (match gate with
+    | Kofn k when k < 1 || k > n_children ->
+        invalid_arg "Builder.add_gate: k out of range"
+    | Kofn _ | And | Or -> ());
+    List.iter
+      (fun c ->
+        if c < 0 || c >= b.count then
+          invalid_arg "Builder.add_gate: unknown child id")
+      children;
+    let id = b.count in
+    b.count <- id + 1;
+    b.acc <-
+      { id; name; kind = Gate gate; children = Array.of_list children } :: b.acc;
+    id
+
+  let find_basic b name = Option.map fst (Hashtbl.find_opt b.basics name)
+
+  let build b ~top =
+    if top < 0 || top >= b.count then invalid_arg "Builder.build: unknown top";
+    let nodes = Array.of_list (List.rev b.acc) in
+    (* Children always have smaller ids than their parents (add_gate
+       only accepts existing ids), so the graph is acyclic by
+       construction; a reachability pass computes the topological
+       order restricted to the top event's cone. *)
+    let reachable = Array.make (Array.length nodes) false in
+    let rec mark id =
+      if not reachable.(id) then begin
+        reachable.(id) <- true;
+        Array.iter mark nodes.(id).children
+      end
+    in
+    mark top;
+    let order = ref [] in
+    for id = Array.length nodes - 1 downto 0 do
+      if reachable.(id) then order := id :: !order
+    done;
+    let order = Array.of_list !order in
+    let reachable_basics =
+      Array.of_list
+        (List.filter
+           (fun id -> match nodes.(id).kind with Basic _ -> true | Gate _ -> false)
+           (Array.to_list order))
+    in
+    let basic_index = Hashtbl.create 64 in
+    Array.iter
+      (fun id -> Hashtbl.replace basic_index nodes.(id).name id)
+      reachable_basics;
+    { nodes; top_id = top; order; reachable_basics; basic_index }
+end
+
+let top g = g.top_id
+let node g id = g.nodes.(id)
+let node_count g = Array.length g.nodes
+let basic_ids g = g.reachable_basics
+
+let name_of g id = g.nodes.(id).name
+
+let prob_of g id =
+  match g.nodes.(id).kind with Basic p -> p | Gate _ -> None
+
+let is_basic g id =
+  match g.nodes.(id).kind with Basic _ -> true | Gate _ -> false
+
+let basic_names g =
+  Array.to_list (Array.map (fun id -> name_of g id) g.reachable_basics)
+
+let find_basic g name = Hashtbl.find_opt g.basic_index name
+
+let topological_order g = g.order
+
+let of_weighted_sets sets =
+  if sets = [] then invalid_arg "Graph.of_component_sets: no sources";
+  let b = Builder.create () in
+  let source_gates =
+    List.map
+      (fun (source, components) ->
+        if components = [] then
+          invalid_arg
+            (Printf.sprintf "Graph.of_component_sets: source %S is empty" source);
+        let children =
+          List.map (fun (c, prob) -> Builder.add_basic b ?prob c) components
+        in
+        Builder.add_gate b ~name:source Or children)
+      sets
+  in
+  let top = Builder.add_gate b ~name:"deployment" And source_gates in
+  Builder.build b ~top
+
+let of_component_sets sets =
+  of_weighted_sets
+    (List.map (fun (s, cs) -> (s, List.map (fun c -> (c, None)) cs)) sets)
+
+let of_fault_sets sets =
+  of_weighted_sets
+    (List.map
+       (fun (s, cs) -> (s, List.map (fun (c, p) -> (c, Some p)) cs))
+       sets)
+
+let evaluate_into g ~values =
+  if Array.length values <> Array.length g.nodes then
+    invalid_arg "Graph.evaluate_into: values length mismatch";
+  Array.iter
+    (fun id ->
+      let n = g.nodes.(id) in
+      match n.kind with
+      | Basic _ -> ()
+      | Gate gate ->
+          let children = n.children in
+          let value =
+            match gate with
+            | Or ->
+                let rec any i =
+                  i < Array.length children
+                  && (values.(children.(i)) || any (i + 1))
+                in
+                any 0
+            | And ->
+                let rec all i =
+                  i >= Array.length children
+                  || (values.(children.(i)) && all (i + 1))
+                in
+                all 0
+            | Kofn k ->
+                let count = ref 0 in
+                Array.iter (fun c -> if values.(c) then incr count) children;
+                !count >= k
+          in
+          values.(id) <- value)
+    g.order
+
+let evaluate g ~failed =
+  let values = Array.make (Array.length g.nodes) false in
+  Array.iter
+    (fun id -> if is_basic g id then values.(id) <- failed id)
+    g.reachable_basics;
+  evaluate_into g ~values;
+  values.(g.top_id)
+
+let component_sets g =
+  let top_node = g.nodes.(g.top_id) in
+  let memo = Hashtbl.create 64 in
+  let module S = Set.Make (String) in
+  let rec leaves id =
+    match Hashtbl.find_opt memo id with
+    | Some s -> s
+    | None ->
+        let n = g.nodes.(id) in
+        let s =
+          match n.kind with
+          | Basic _ -> S.singleton n.name
+          | Gate _ ->
+              Array.fold_left (fun acc c -> S.union acc (leaves c)) S.empty n.children
+        in
+        Hashtbl.add memo id s;
+        s
+  in
+  Array.to_list top_node.children
+  |> List.map (fun c -> (g.nodes.(c).name, S.elements (leaves c)))
+
+let pp fmt g =
+  let basics = Array.length g.reachable_basics in
+  let gates = Array.length g.order - basics in
+  let gate_name =
+    match g.nodes.(g.top_id).kind with
+    | Gate And -> "AND"
+    | Gate Or -> "OR"
+    | Gate (Kofn k) -> Printf.sprintf "%d-of-n" k
+    | Basic _ -> "basic"
+  in
+  Format.fprintf fmt "fault graph: %d nodes (%d basic, %d gates), top=%s(%s)"
+    (Array.length g.order) basics gates g.nodes.(g.top_id).name gate_name

@@ -1,0 +1,63 @@
+type component_importance = {
+  component : Graph.node_id;
+  component_name : string;
+  birnbaum : float;
+  fussell_vesely : float;
+}
+
+let prob_exn g id =
+  match Graph.prob_of g id with
+  | Some p -> p
+  | None -> raise (Probability.Missing_probability (Graph.name_of g id))
+
+let conditioned_probability g ~component ~value =
+  let m, top = Bdd.of_graph g in
+  Bdd.probability m top ~prob_of:(fun id ->
+      if id = component then (if value then 1. else 0.) else prob_exn g id)
+
+let birnbaum g ~component =
+  conditioned_probability g ~component ~value:true
+  -. conditioned_probability g ~component ~value:false
+
+let fussell_vesely ?max_terms g ~rgs ~component =
+  let containing =
+    List.filter (fun rg -> Array.exists (fun id -> id = component) rg) rgs
+  in
+  let top = Probability.top_probability_exact ?max_terms g ~rgs in
+  if top <= 0. then 0.
+  else
+    Probability.top_probability_exact ?max_terms g ~rgs:containing /. top
+
+let rank_components ?max_terms g ~rgs =
+  Array.to_list (Graph.basic_ids g)
+  |> List.map (fun component ->
+         {
+           component;
+           component_name = Graph.name_of g component;
+           birnbaum = birnbaum g ~component;
+           fussell_vesely = fussell_vesely ?max_terms g ~rgs ~component;
+         })
+  |> List.sort (fun a b ->
+         match compare b.birnbaum a.birnbaum with
+         | 0 -> compare a.component_name b.component_name
+         | c -> c)
+
+let render importances =
+  let t =
+    Indaas_util.Table.create
+      ~aligns:
+        [ Indaas_util.Table.Right; Indaas_util.Table.Left;
+          Indaas_util.Table.Right; Indaas_util.Table.Right ]
+      [ "rank"; "component"; "Birnbaum"; "Fussell-Vesely" ]
+  in
+  List.iteri
+    (fun i c ->
+      Indaas_util.Table.add_row t
+        [
+          string_of_int (i + 1);
+          c.component_name;
+          Printf.sprintf "%.6g" c.birnbaum;
+          Printf.sprintf "%.6g" c.fussell_vesely;
+        ])
+    importances;
+  Indaas_util.Table.render t

@@ -1,0 +1,167 @@
+module Prng = Indaas_util.Prng
+
+type component_rates = { mtbf : float; mttr : float }
+
+let rates ?mttr ~mtbf () =
+  let mttr = match mttr with Some m -> m | None -> mtbf /. 100. in
+  if mtbf <= 0. || mttr <= 0. then
+    invalid_arg "Lifetime.rates: times must be positive";
+  { mtbf; mttr }
+
+type config = {
+  horizon : float;
+  rates_of : string -> component_rates;
+}
+
+let default_config =
+  { horizon = 100_000.; rates_of = (fun _ -> rates ~mtbf:1000. ()) }
+
+type outage = {
+  start : float;
+  duration : float;
+  failed_components : string list;
+}
+
+type result = {
+  total_time : float;
+  downtime : float;
+  availability : float;
+  outages : outage list;
+  transitions : int;
+}
+
+(* Event-driven simulation with a simple binary heap keyed on event
+   time. Each basic event always has exactly one pending transition
+   (its next flip); we re-draw it whenever it fires. *)
+module Heap = struct
+  type entry = { time : float; component : int }
+
+  type t = { mutable data : entry array; mutable size : int }
+
+  let create capacity =
+    { data = Array.make (max capacity 1) { time = 0.; component = -1 }; size = 0 }
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let push h entry =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) h.data.(0) in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- entry;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while !i > 0 && h.data.((!i - 1) / 2).time > h.data.(!i).time do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then invalid_arg "Lifetime.Heap.pop: empty";
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && h.data.(l).time < h.data.(!smallest).time then smallest := l;
+      if r < h.size && h.data.(r).time < h.data.(!smallest).time then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        swap h !i !smallest;
+        i := !smallest
+      end
+    done;
+    top
+end
+
+let simulate ?(config = default_config) rng g =
+  if config.horizon <= 0. then invalid_arg "Lifetime.simulate: horizon";
+  let basics = Graph.basic_ids g in
+  let values = Array.make (Graph.node_count g) false in
+  let rates =
+    Array.map (fun id -> config.rates_of (Graph.name_of g id)) basics
+  in
+  (* index of each basic id within [basics] *)
+  let slot_of = Hashtbl.create (Array.length basics) in
+  Array.iteri (fun slot id -> Hashtbl.replace slot_of id slot) basics;
+  let heap = Heap.create (Array.length basics) in
+  Array.iteri
+    (fun slot _ ->
+      Heap.push heap
+        { Heap.time = Prng.exponential rng (1. /. rates.(slot).mtbf); component = slot })
+    basics;
+  Graph.evaluate_into g ~values;
+  let top = Graph.top g in
+  let down_since = ref None in
+  let downtime = ref 0. in
+  let outages = ref [] in
+  let transitions = ref 0 in
+  let now = ref 0. in
+  let continue = ref true in
+  while !continue do
+    let next = Heap.pop heap in
+    if next.Heap.time > config.horizon then continue := false
+    else begin
+      now := next.Heap.time;
+      incr transitions;
+      let slot = next.Heap.component in
+      let id = basics.(slot) in
+      values.(id) <- not values.(id);
+      let dwell =
+        if values.(id) then rates.(slot).mttr (* now down; next flip = repair *)
+        else rates.(slot).mtbf
+      in
+      Heap.push heap
+        { Heap.time = !now +. Prng.exponential rng (1. /. dwell); component = slot };
+      Graph.evaluate_into g ~values;
+      match (!down_since, values.(top)) with
+      | None, true ->
+          let failed =
+            Array.to_list basics
+            |> List.filter (fun b -> values.(b))
+            |> List.map (Graph.name_of g)
+          in
+          down_since := Some (!now, failed)
+      | Some (start, failed), false ->
+          downtime := !downtime +. (!now -. start);
+          outages :=
+            { start; duration = !now -. start; failed_components = failed }
+            :: !outages;
+          down_since := None
+      | None, false | Some _, true -> ()
+    end
+  done;
+  (* Close an outage still open at the horizon. *)
+  (match !down_since with
+  | Some (start, failed) ->
+      downtime := !downtime +. (config.horizon -. start);
+      outages :=
+        {
+          start;
+          duration = config.horizon -. start;
+          failed_components = failed;
+        }
+        :: !outages
+  | None -> ());
+  {
+    total_time = config.horizon;
+    downtime = !downtime;
+    availability = 1. -. (!downtime /. config.horizon);
+    outages = List.rev !outages;
+    transitions = !transitions;
+  }
+
+let mean_availability ?config ~runs rng g =
+  if runs <= 0 then invalid_arg "Lifetime.mean_availability: runs";
+  let acc = ref 0. in
+  for _ = 1 to runs do
+    acc := !acc +. (simulate ?config rng g).availability
+  done;
+  !acc /. float_of_int runs

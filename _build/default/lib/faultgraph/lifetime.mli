@@ -1,0 +1,54 @@
+(** Continuous-time failure/repair simulation over fault graphs.
+
+    INDaaS's premise is that structural independence predicts fewer
+    correlated outages (§1). This module closes the loop: it simulates
+    component lifetimes — each basic event alternates between up and
+    down with exponential time-to-failure and time-to-repair — and
+    measures how often and for how long the top event (the audited
+    deployment) is down. Deployments that the auditor ranks more
+    independent should measure higher availability; the validation
+    benchmark checks exactly that.
+
+    The simulation is an exact event-driven competing-exponentials
+    process: state changes one component at a time, and the top event
+    is re-evaluated at each transition. *)
+
+type component_rates = {
+  mtbf : float;  (** mean time between failures (up-state dwell) *)
+  mttr : float;  (** mean time to repair (down-state dwell) *)
+}
+
+val rates : ?mttr:float -> mtbf:float -> unit -> component_rates
+(** Default [mttr] is [mtbf /. 100.] (components are up ~99% of the
+    time). Raises [Invalid_argument] on non-positive rates. *)
+
+type config = {
+  horizon : float;  (** simulated time span *)
+  rates_of : string -> component_rates;
+      (** per-component lifetimes, by basic-event name *)
+}
+
+type outage = {
+  start : float;
+  duration : float;
+  failed_components : string list;
+      (** basic events down when the outage began *)
+}
+
+type result = {
+  total_time : float;
+  downtime : float;
+  availability : float;  (** 1 - downtime/total_time *)
+  outages : outage list;  (** in chronological order *)
+  transitions : int;  (** component state changes simulated *)
+}
+
+val simulate : ?config:config -> Indaas_util.Prng.t -> Graph.t -> result
+(** Default config: horizon 100_000, every component at
+    [rates ~mtbf:1000. ()]. *)
+
+val mean_availability :
+  ?config:config -> runs:int -> Indaas_util.Prng.t -> Graph.t -> float
+(** Average availability over several independent simulations. *)
+
+val default_config : config

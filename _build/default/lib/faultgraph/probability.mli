@@ -1,0 +1,33 @@
+(** Failure-probability computations over fault graphs (paper
+    §4.1.3).
+
+    Basic events are assumed to fail independently with their attached
+    probabilities. [Pr(T)], the top-event probability, is computed by
+    inclusion–exclusion over the minimal risk groups (exact, 2^m
+    terms) or estimated by Monte-Carlo simulation when the RG count
+    makes inclusion–exclusion intractable. *)
+
+exception Missing_probability of string
+(** A basic event reachable from the top has no attached probability. *)
+
+val rg_probability : Graph.t -> Cutset.rg -> float
+(** Probability that all events of one RG occur simultaneously. *)
+
+val top_probability_exact :
+  ?max_terms:int -> Graph.t -> rgs:Cutset.rg list -> float
+(** Inclusion–exclusion over [rgs] (which should be the complete set
+    of minimal RGs). Raises [Invalid_argument] when [2^|rgs|] exceeds
+    [max_terms] (default 2^22). *)
+
+val top_probability_mc :
+  ?rounds:int -> Indaas_util.Prng.t -> Graph.t -> float
+(** Monte-Carlo estimate of [Pr(T)] (default 200_000 rounds). *)
+
+val top_probability :
+  ?exact_limit:int -> Indaas_util.Prng.t -> Graph.t -> rgs:Cutset.rg list -> float
+(** Exact when [|rgs| <= exact_limit] (default 20), Monte-Carlo
+    otherwise. *)
+
+val relative_importance :
+  top_probability:float -> rg_probability:float -> float
+(** [I_C = Pr(C) / Pr(T)] as defined in §4.1.3. *)

@@ -1,0 +1,136 @@
+module Prng = Indaas_util.Prng
+
+type config = {
+  rounds : int;
+  failure_bias : float;
+  shrink : bool;
+  use_event_probs : bool;
+}
+
+let default_config =
+  { rounds = 10_000; failure_bias = 0.5; shrink = true; use_event_probs = false }
+
+type result = {
+  risk_groups : Cutset.rg list;
+  rounds_run : int;
+  positive_rounds : int;
+}
+
+(* Greedily clear failed basics that the top event does not need; on a
+   monotone graph the surviving set is an inclusion-minimal RG. The
+   clearing order is randomized per round — a fixed order would bias
+   every witness toward the same few minimal RGs and cap the
+   detection ratio well below what the round budget allows. *)
+let shrink_witness rng g values basics scratch =
+  Array.blit basics 0 scratch 0 (Array.length basics);
+  Prng.shuffle rng scratch;
+  Array.iter
+    (fun id ->
+      if values.(id) then begin
+        values.(id) <- false;
+        Graph.evaluate_into g ~values;
+        if not values.(Graph.top g) then begin
+          values.(id) <- true;
+          Graph.evaluate_into g ~values
+        end
+      end)
+    scratch
+
+let run ?(config = default_config) rng g =
+  if config.rounds < 0 then invalid_arg "Sampling.run: negative rounds";
+  if not (config.failure_bias >= 0. && config.failure_bias <= 1.) then
+    invalid_arg "Sampling.run: failure_bias out of [0,1]";
+  let basics = Graph.basic_ids g in
+  let scratch = Array.copy basics in
+  let values = Array.make (Graph.node_count g) false in
+  let found = Cutset.RgSet.create () in
+  let positives = ref 0 in
+  let prob_of id =
+    if config.use_event_probs then
+      match Graph.prob_of g id with
+      | Some p -> p
+      | None -> config.failure_bias
+    else config.failure_bias
+  in
+  for _ = 1 to config.rounds do
+    Array.iter (fun id -> values.(id) <- Prng.bernoulli rng (prob_of id)) basics;
+    Graph.evaluate_into g ~values;
+    if values.(Graph.top g) then begin
+      incr positives;
+      if config.shrink then shrink_witness rng g values basics scratch;
+      let witness =
+        Array.of_list
+          (List.filter (fun id -> values.(id)) (Array.to_list basics))
+      in
+      Cutset.RgSet.add found witness
+    end
+  done;
+  {
+    risk_groups = Cutset.RgSet.to_list found;
+    rounds_run = config.rounds;
+    positive_rounds = !positives;
+  }
+
+let detection_ratio ~found ~all =
+  match all with
+  | [] -> 1.
+  | _ ->
+      let tbl = Cutset.RgSet.create () in
+      List.iter (Cutset.RgSet.add tbl) found;
+      let hit = List.filter (Cutset.RgSet.mem tbl) all in
+      float_of_int (List.length hit) /. float_of_int (List.length all)
+
+type coverage_point = {
+  rounds : int;
+  seconds : float;
+  detected : int;
+  fraction : float;
+}
+
+let coverage ?(failure_bias = 0.5) rng g ~targets ~checkpoints =
+  let checkpoints = List.sort_uniq compare checkpoints in
+  (match checkpoints with
+  | c :: _ when c < 0 -> invalid_arg "Sampling.coverage: negative checkpoint"
+  | _ -> ());
+  let total_targets = List.length targets in
+  let basics = Graph.basic_ids g in
+  let values = Array.make (Graph.node_count g) false in
+  (* Undetected minimal RGs, scanned and filtered on each positive
+     round; detection = witness contains the RG. *)
+  let undetected = ref targets in
+  let detected = ref 0 in
+  let start = Unix.gettimeofday () in
+  let points = ref [] in
+  let round = ref 0 in
+  List.iter
+    (fun checkpoint ->
+      while !round < checkpoint do
+        incr round;
+        Array.iter
+          (fun id -> values.(id) <- Prng.bernoulli rng failure_bias)
+          basics;
+        Graph.evaluate_into g ~values;
+        if values.(Graph.top g) && !undetected <> [] then begin
+          let survivors =
+            List.filter
+              (fun rg ->
+                let covered = Array.for_all (fun id -> values.(id)) rg in
+                if covered then incr detected;
+                not covered)
+              !undetected
+          in
+          undetected := survivors
+        end
+      done;
+      points :=
+        {
+          rounds = !round;
+          seconds = Unix.gettimeofday () -. start;
+          detected = !detected;
+          fraction =
+            (if total_targets = 0 then 1.
+             else float_of_int !detected /. float_of_int total_targets);
+        }
+        :: !points)
+    checkpoints;
+  List.rev !points

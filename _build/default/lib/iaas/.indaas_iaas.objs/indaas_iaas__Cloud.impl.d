@@ -1,0 +1,1 @@
+lib/iaas/cloud.ml: Array Indaas_depdata Indaas_util List Option Printf

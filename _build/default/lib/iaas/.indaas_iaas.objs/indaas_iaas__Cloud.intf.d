@@ -1,0 +1,1 @@
+lib/iaas/cloud.mli: Indaas_depdata Indaas_util

@@ -1,0 +1,140 @@
+module Prng = Indaas_util.Prng
+module Dependency = Indaas_depdata.Dependency
+
+type placement_policy =
+  | Least_loaded_random
+  | Anti_affinity
+  | Pinned of (string * string) list
+
+type vm = { vm_name : string; group : string; mutable host : string }
+
+type t = {
+  policy : placement_policy;
+  servers : string array;
+  rng : Prng.t;
+  mutable vms : vm list; (* reversed boot order *)
+}
+
+let lab_servers = [ "Server1"; "Server2"; "Server3"; "Server4" ]
+
+let create ?(policy = Least_loaded_random) ~servers rng =
+  if servers = [] then invalid_arg "Cloud.create: no servers";
+  { policy; servers = Array.of_list servers; rng; vms = [] }
+
+let load t server =
+  List.length (List.filter (fun v -> v.host = server) t.vms)
+
+let find_vm t name = List.find_opt (fun v -> v.vm_name = name) t.vms
+
+let server_exists t s = Array.exists (fun x -> x = s) t.servers
+
+let least_loaded_among t candidates =
+  match candidates with
+  | [] -> None
+  | _ ->
+      let min_load =
+        List.fold_left (fun acc s -> min acc (load t s)) max_int candidates
+      in
+      let pool =
+        Array.of_list (List.filter (fun s -> load t s = min_load) candidates)
+      in
+      Some (Prng.pick t.rng pool)
+
+let place t ~name ~group =
+  let all = Array.to_list t.servers in
+  match t.policy with
+  | Least_loaded_random -> least_loaded_among t all
+  | Anti_affinity -> (
+      let hosts_group s =
+        List.exists (fun v -> v.host = s && v.group = group) t.vms
+      in
+      match least_loaded_among t (List.filter (fun s -> not (hosts_group s)) all) with
+      | Some s -> Some s
+      | None -> least_loaded_among t all (* group larger than the cloud *))
+  | Pinned assignment -> (
+      match List.assoc_opt name assignment with
+      | Some s ->
+          if not (server_exists t s) then
+            invalid_arg (Printf.sprintf "Cloud.boot_vm: unknown server %S" s);
+          Some s
+      | None -> least_loaded_among t all)
+
+let boot_vm t ~name ~group =
+  if find_vm t name <> None then
+    invalid_arg (Printf.sprintf "Cloud.boot_vm: VM %S already exists" name);
+  match place t ~name ~group with
+  | None -> invalid_arg "Cloud.boot_vm: no eligible server"
+  | Some host ->
+      t.vms <- { vm_name = name; group; host } :: t.vms;
+      host
+
+let boot_vms_concurrently t requests =
+  List.iter
+    (fun (name, _) ->
+      if find_vm t name <> None then
+        invalid_arg (Printf.sprintf "Cloud.boot_vms_concurrently: VM %S exists" name))
+    requests;
+  (* Snapshot of the load every racing request observes. *)
+  let snapshot = Array.map (load t) t.servers in
+  let batch_hosts : (string * string * string) list ref = ref [] in
+  let placements =
+    List.map
+      (fun (name, group) ->
+        let host =
+          match t.policy with
+          | Anti_affinity -> (
+              (* Race-free: also avoid in-batch same-group hosts. *)
+              let taken s =
+                List.exists (fun v -> v.host = s && v.group = group) t.vms
+                || List.exists (fun (_, g, h) -> h = s && g = group) !batch_hosts
+              in
+              let eligible =
+                Array.to_list t.servers |> List.filter (fun s -> not (taken s))
+              in
+              match least_loaded_among t eligible with
+              | Some s -> s
+              | None -> (
+                  match least_loaded_among t (Array.to_list t.servers) with
+                  | Some s -> s
+                  | None -> assert false))
+          | Least_loaded_random | Pinned _ ->
+              (* Pick from the stale snapshot: concurrent schedulers do
+                 not see each other's decisions. *)
+              let min_load = Array.fold_left min max_int snapshot in
+              let pool = ref [] in
+              Array.iteri
+                (fun i s -> if snapshot.(i) = min_load then pool := s :: !pool)
+                t.servers;
+              Prng.pick t.rng (Array.of_list (List.rev !pool))
+        in
+        batch_hosts := (name, group, host) :: !batch_hosts;
+        (name, group, host))
+      requests
+  in
+  List.map
+    (fun (name, group, host) ->
+      t.vms <- { vm_name = name; group; host } :: t.vms;
+      (name, host))
+    placements
+
+let host_of t name = Option.map (fun v -> v.host) (find_vm t name)
+
+let vms_on t server =
+  List.rev t.vms
+  |> List.filter (fun v -> v.host = server)
+  |> List.map (fun v -> v.vm_name)
+
+let vm_names t = List.rev_map (fun v -> v.vm_name) t.vms
+
+let migrate t ~vm ~to_server =
+  if not (server_exists t to_server) then
+    invalid_arg (Printf.sprintf "Cloud.migrate: unknown server %S" to_server);
+  match find_vm t vm with
+  | None -> invalid_arg (Printf.sprintf "Cloud.migrate: unknown VM %S" vm)
+  | Some v -> v.host <- to_server
+
+let hardware_records t =
+  List.rev_map
+    (fun v ->
+      Dependency.hardware ~hw:v.vm_name ~hw_type:"HostServer" ~dep:v.host)
+    t.vms

@@ -1,0 +1,66 @@
+(** Miniature IaaS substrate for the §6.2.2 hardware case study.
+
+    Models the lab cloud of Figure 6(b): physical servers behind ToR
+    and core switches, virtual machines placed on servers by a
+    scheduler, and services deployed on VMs. The interesting
+    behaviour is the placement policy: OpenStack's automatic scheduler
+    "randomly selects from the least loaded resources to host a VM",
+    which is exactly what let two redundancy-motivated VMs land on the
+    same physical server. *)
+
+type t
+
+type placement_policy =
+  | Least_loaded_random
+      (** pick uniformly among the servers with minimum VM count — the
+          OpenStack behaviour that caused the §6.2.2 incident. *)
+  | Anti_affinity
+      (** least-loaded among servers hosting no VM of the same
+          service group — what the audit report's recommendation
+          amounts to. *)
+  | Pinned of (string * string) list
+      (** explicit [vm -> server] assignment; placement falls back to
+          [Least_loaded_random] for unlisted VMs. *)
+
+val create :
+  ?policy:placement_policy ->
+  servers:string list ->
+  Indaas_util.Prng.t ->
+  t
+(** A cloud with the given physical servers. The PRNG drives placement
+    randomness. *)
+
+val lab_servers : string list
+(** The case study's four servers: Server1–Server4. *)
+
+val boot_vm : t -> name:string -> group:string -> string
+(** [boot_vm t ~name ~group] places a VM and returns the hosting
+    server. [group] identifies the service the VM belongs to (used by
+    [Anti_affinity]). Raises [Invalid_argument] if [name] is taken or
+    no server is eligible. *)
+
+val boot_vms_concurrently : t -> (string * string) list -> (string * string) list
+(** [boot_vms_concurrently t [(name, group); ...]] places several VMs
+    whose scheduling requests race: under [Least_loaded_random] every
+    placement is computed against the {e same} load snapshot, so two
+    replicas can land on one server — the §6.2.2 incident. An
+    [Anti_affinity] policy is race-free (it accounts for the in-batch
+    placements of the same group). Returns [(vm, host)] pairs. *)
+
+val host_of : t -> string -> string option
+(** The server hosting a VM. *)
+
+val vms_on : t -> string -> string list
+(** VMs hosted by a server, in boot order. *)
+
+val vm_names : t -> string list
+(** All VMs, in boot order. *)
+
+val migrate : t -> vm:string -> to_server:string -> unit
+(** Re-places an existing VM (the §6.2.2 re-deployment). Raises
+    [Invalid_argument] on unknown VM or server. *)
+
+val hardware_records : t -> Indaas_depdata.Dependency.t list
+(** Table 1 hardware records: each VM depends on its hosting server
+    as a shared hardware component — how VM co-location becomes
+    visible to the auditor. *)

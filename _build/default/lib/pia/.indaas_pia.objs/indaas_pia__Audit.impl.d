@@ -1,0 +1,1 @@
+lib/pia/audit.ml: Array Bloompsi Componentset Float Indaas_crypto Indaas_util Jaccard Ks List Printf Psop String

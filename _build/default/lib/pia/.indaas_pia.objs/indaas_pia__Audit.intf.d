@@ -1,0 +1,1 @@
+lib/pia/audit.mli: Componentset Indaas_crypto Indaas_util

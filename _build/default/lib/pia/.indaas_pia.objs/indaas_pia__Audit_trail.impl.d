@@ -1,0 +1,1 @@
+lib/pia/audit_trail.ml: Bytes Componentset Hashtbl Indaas_crypto Indaas_util List Printf String

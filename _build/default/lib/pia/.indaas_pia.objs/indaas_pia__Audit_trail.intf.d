@@ -1,0 +1,1 @@
+lib/pia/audit_trail.mli: Componentset Indaas_util

@@ -1,0 +1,1 @@
+lib/pia/bloompsi.ml: Array Bytes Char Fun Indaas_crypto Indaas_util Int64 List Transport

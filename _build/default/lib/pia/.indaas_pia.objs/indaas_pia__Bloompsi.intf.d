@@ -1,0 +1,1 @@
+lib/pia/bloompsi.mli: Indaas_util Transport

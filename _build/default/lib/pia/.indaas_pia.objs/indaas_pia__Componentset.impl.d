@@ -1,0 +1,1 @@
+lib/pia/componentset.ml: Hashtbl Indaas_depdata List Printf Set String

@@ -1,0 +1,1 @@
+lib/pia/componentset.mli: Indaas_depdata

@@ -1,0 +1,1 @@
+lib/pia/jaccard.mli: Componentset

@@ -1,0 +1,1 @@
+lib/pia/ks.ml: Array Componentset Indaas_bignum Indaas_crypto Indaas_util List Polynomial Transport

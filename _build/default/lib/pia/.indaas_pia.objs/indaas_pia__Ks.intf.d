@@ -1,0 +1,1 @@
+lib/pia/ks.mli: Indaas_crypto Indaas_util Transport

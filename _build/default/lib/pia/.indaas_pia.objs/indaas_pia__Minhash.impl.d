@@ -1,0 +1,1 @@
+lib/pia/minhash.ml: Array Componentset Indaas_crypto Int64 List Printf

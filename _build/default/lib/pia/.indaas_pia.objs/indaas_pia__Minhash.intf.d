@@ -1,0 +1,1 @@
+lib/pia/minhash.mli: Componentset

@@ -1,0 +1,1 @@
+lib/pia/polynomial.ml: Array Format Indaas_bignum List

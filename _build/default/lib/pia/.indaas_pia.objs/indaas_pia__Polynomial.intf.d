@@ -1,0 +1,1 @@
+lib/pia/polynomial.mli: Format Indaas_bignum

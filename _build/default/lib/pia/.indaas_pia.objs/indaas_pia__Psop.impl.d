@@ -1,0 +1,1 @@
+lib/pia/psop.ml: Array Componentset Indaas_bignum Indaas_crypto Indaas_util Jaccard List Logs Minhash Transport

@@ -1,0 +1,1 @@
+lib/pia/psop.mli: Indaas_crypto Indaas_util Transport

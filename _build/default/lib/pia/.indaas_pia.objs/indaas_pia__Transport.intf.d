@@ -1,0 +1,1 @@
+lib/pia/transport.mli:

@@ -1,0 +1,93 @@
+(** The Private Independence Auditing protocol end-to-end (paper
+    §4.2): normalize component sets, run a private set intersection
+    cardinality protocol per candidate redundancy deployment, rank
+    deployments by Jaccard similarity, and render the report the
+    auditing agent sends the client (§4.2.5). *)
+
+(** Which private protocol quantifies the overlap. *)
+type protocol =
+  | Psop of { params : Indaas_crypto.Commutative.params option }
+      (** the paper's choice *)
+  | Psop_minhash of {
+      params : Indaas_crypto.Commutative.params option;
+      m : int;
+    }  (** for large component sets (§4.2.4) *)
+  | Ks of { key_bits : int }
+      (** homomorphic baseline; intersection only, so Jaccard uses the
+          (public) set sizes for the union via inclusion–exclusion of
+          cardinalities — exact for two parties, and the protocol
+          additionally reveals pairwise counts for more *)
+  | Bloom of { bits : int; hashes : int; flip : float }
+      (** Bloom-filter estimation (see {!Bloompsi}): hashing-only
+          cost, estimated cardinalities, leaks noised membership
+          bits *)
+  | Cleartext  (** non-private reference (a trusted auditor) *)
+
+type provider = { name : string; components : Componentset.t }
+
+val provider : name:string -> string list -> provider
+
+type deployment_result = {
+  providers : string list;
+  jaccard : float;
+  intersection : int option;  (** not exposed by the MinHash variant *)
+  union : int option;
+  correlated : bool;  (** [jaccard >= 0.75] *)
+}
+
+type report = {
+  way : int;  (** deployments of this many providers *)
+  results : deployment_result list;  (** ranked, most independent first *)
+}
+
+val audit :
+  ?protocol:protocol ->
+  ?rng:Indaas_util.Prng.t ->
+  way:int ->
+  provider list ->
+  report
+(** Evaluates every [way]-subset of the providers (Table 2 evaluates
+    [way = 2] and [way = 3] over four clouds). Defaults: [Cleartext]
+    — pass [Psop] for the private protocol — and a fixed seed.
+    Raises [Invalid_argument] if [way < 2] or exceeds the provider
+    count. *)
+
+val render : report -> string
+(** Paper-style Table 2: rank, deployment, Jaccard. *)
+
+val best : report -> deployment_result
+(** The most independent deployment. *)
+
+(** {1 n-of-m deployments}
+
+    For an n-of-m redundancy deployment the paper's agent "needs to
+    obtain the Jaccard similarity across all the n cloud providers and
+    the similarity across all the m cloud providers" (§4.2.5): the
+    service survives while any [n] providers are alive, so the
+    overlap of the {e full} group bounds total wipe-out risk, and the
+    worst [n]-subset shows the weakest quorum the service may end up
+    depending on. *)
+
+type nofm_result = {
+  group : string list;  (** the m providers of this deployment *)
+  full_jaccard : float;  (** across all m *)
+  worst_quorum : string list;  (** the n-subset with the highest J *)
+  worst_quorum_jaccard : float;
+}
+
+val audit_nofm :
+  ?protocol:protocol ->
+  ?rng:Indaas_util.Prng.t ->
+  n:int ->
+  m:int ->
+  provider list ->
+  nofm_result list
+(** Evaluates every [m]-subset of the providers; within each, every
+    [n]-subset. Ranked by [worst_quorum_jaccard] then [full_jaccard]
+    (most independent first). Raises [Invalid_argument] unless
+    [2 <= n <= m <= #providers]. *)
+
+val render_nofm : n:int -> nofm_result list -> string
+
+val to_json : report -> Indaas_util.Json.t
+(** Machine-readable ranking. *)

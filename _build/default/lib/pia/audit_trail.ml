@@ -1,0 +1,85 @@
+module Digest = Indaas_crypto.Digest
+module Prng = Indaas_util.Prng
+
+type commitment = {
+  nonce : string;  (** hex *)
+  digest : string;  (** hex SHA-256 *)
+  signature : string;  (** hex; simulated identity-keyed MAC *)
+}
+
+type record = {
+  provider : string;
+  run_id : string;
+  commitment : commitment;
+}
+
+(* Canonical form: sorted unique components, newline-joined — so two
+   equal sets always commit identically under equal nonces. *)
+let canonical set = String.concat "\n" (Componentset.to_list set)
+
+let digest_of ~nonce set =
+  Digest.sha256_hex (Printf.sprintf "indaas-commitment|%s|%s" nonce (canonical set))
+
+(* A stand-in for a real signature: binds provider identity and run to
+   the digest. A deployment would use the provider's signing key. *)
+let sign ~provider ~run_id digest =
+  Digest.sha256_hex (Printf.sprintf "indaas-signature|%s|%s|%s" provider run_id digest)
+
+let commit ~rng ~provider ~run_id set =
+  let nonce = Digest.to_hex (Bytes.to_string (Prng.bytes rng 16)) in
+  let digest = digest_of ~nonce set in
+  {
+    provider;
+    run_id;
+    commitment = { nonce; digest; signature = sign ~provider ~run_id digest };
+  }
+
+let verify record set =
+  let expected = digest_of ~nonce:record.commitment.nonce set in
+  String.equal expected record.commitment.digest
+  && String.equal record.commitment.signature
+       (sign ~provider:record.provider ~run_id:record.run_id
+          record.commitment.digest)
+
+let commitment_to_hex c = Printf.sprintf "%s:%s:%s" c.nonce c.digest c.signature
+
+let commitment_of_hex s =
+  match String.split_on_char ':' s with
+  | [ nonce; digest; signature ] ->
+      let is_hex t =
+        t <> ""
+        && String.for_all
+             (fun ch -> (ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'f'))
+             t
+      in
+      if is_hex nonce && is_hex digest && is_hex signature then
+        Some { nonce; digest; signature }
+      else None
+  | _ -> None
+
+module Registry = struct
+  type nonrec t = (string * string, record) Hashtbl.t
+
+  let create () : t = Hashtbl.create 32
+
+  let add t record =
+    let key = (record.provider, record.run_id) in
+    if Hashtbl.mem t key then
+      invalid_arg
+        (Printf.sprintf "Audit_trail.Registry.add: %s already committed for run %s"
+           record.provider record.run_id);
+    Hashtbl.add t key record
+
+  let find t ~provider ~run_id = Hashtbl.find_opt t (provider, run_id)
+
+  let runs_of t ~provider =
+    Hashtbl.fold
+      (fun (p, run) _ acc -> if p = provider then run :: acc else acc)
+      t []
+    |> List.sort compare
+
+  let spot_check t ~provider ~run_id set =
+    match find t ~provider ~run_id with
+    | None -> `No_commitment
+    | Some record -> if verify record set then `Verified else `Mismatch
+end

@@ -1,0 +1,62 @@
+(** Audit trails for PIA — the paper's “trust but leave an audit
+    trail” mechanism against dishonest providers (§5.2).
+
+    A provider might under-declare its component set to appear more
+    independent. For most PIA executions the client simply trusts the
+    inputs, but each provider must {e commit} to the dataset it fed
+    into the protocol by signing a digest of it. During an occasional
+    “meta-audit”, a specially-authorized authority (the paper's IRS
+    analogy) obtains the actual dataset and checks it against the
+    recorded commitment — so persistent cheating eventually surfaces.
+
+    Commitments are hash-based: [H(nonce ‖ canonical dataset)] with a
+    per-record nonce, authenticated by a (simulated) signature keyed
+    by the provider's identity. This preserves secrecy — the
+    commitment reveals nothing about the components — while binding
+    the provider to exactly one dataset per protocol run. *)
+
+type commitment
+(** What a provider publishes alongside a protocol run. *)
+
+type record = {
+  provider : string;
+  run_id : string;  (** identifies the PIA execution *)
+  commitment : commitment;
+}
+
+val commit :
+  rng:Indaas_util.Prng.t ->
+  provider:string ->
+  run_id:string ->
+  Componentset.t ->
+  record
+(** Create the signed commitment a provider stores before
+    participating in run [run_id]. *)
+
+val verify : record -> Componentset.t -> bool
+(** Meta-audit check: does the revealed dataset match the recorded
+    commitment? [false] means the provider fed the protocol different
+    data than it later produced. *)
+
+val commitment_to_hex : commitment -> string
+(** Stable wire encoding (for logs / registries). *)
+
+val commitment_of_hex : string -> commitment option
+
+module Registry : sig
+  (** The auditing agent's log of commitments across runs. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> record -> unit
+  (** Raises [Invalid_argument] if the (provider, run) pair was
+      already recorded — one dataset per provider per run. *)
+
+  val find : t -> provider:string -> run_id:string -> record option
+  val runs_of : t -> provider:string -> string list
+
+  val spot_check : t -> provider:string -> run_id:string -> Componentset.t ->
+    [ `Verified | `Mismatch | `No_commitment ]
+  (** The meta-audit entry point. *)
+end

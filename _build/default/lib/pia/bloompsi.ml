@@ -1,0 +1,133 @@
+module Oracle = Indaas_crypto.Oracle
+module Prng = Indaas_util.Prng
+
+module Filter = struct
+  type t = { bits : int; hashes : int; data : Bytes.t }
+
+  let create ~bits ~hashes =
+    if bits <= 0 || hashes <= 0 then
+      invalid_arg "Bloompsi.Filter.create: bits and hashes must be positive";
+    { bits; hashes; data = Bytes.make ((bits + 7) / 8) '\x00' }
+
+  let bit_positions t element =
+    List.init t.hashes (fun i ->
+        Int64.to_int
+          (Int64.rem
+             (Int64.logand (Oracle.hash_int ~seed:(1000 + i) element)
+                Int64.max_int)
+             (Int64.of_int t.bits)))
+
+  let get t i = Char.code (Bytes.get t.data (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+  let set t i =
+    Bytes.set t.data (i / 8)
+      (Char.chr (Char.code (Bytes.get t.data (i / 8)) lor (1 lsl (i mod 8))))
+
+  let add t element = List.iter (set t) (bit_positions t element)
+  let mem t element = List.for_all (get t) (bit_positions t element)
+  let bits t = t.bits
+  let hashes t = t.hashes
+
+  let ones t =
+    let count = ref 0 in
+    for i = 0 to t.bits - 1 do
+      if get t i then incr count
+    done;
+    !count
+
+  let union a b =
+    if a.bits <> b.bits || a.hashes <> b.hashes then
+      invalid_arg "Bloompsi.Filter.union: geometry mismatch";
+    let out = create ~bits:a.bits ~hashes:a.hashes in
+    Bytes.iteri
+      (fun i byte ->
+        Bytes.set out.data i
+          (Char.chr (Char.code byte lor Char.code (Bytes.get b.data i))))
+      a.data;
+    out
+
+  let estimate_cardinality t =
+    let x = float_of_int (ones t) and m = float_of_int t.bits in
+    if x >= m then infinity
+    else -.m /. float_of_int t.hashes *. log (1. -. (x /. m))
+
+  let randomize rng ~flip t =
+    if not (flip >= 0. && flip < 0.5) then
+      invalid_arg "Bloompsi.Filter.randomize: flip must be in [0, 0.5)";
+    let out = create ~bits:t.bits ~hashes:t.hashes in
+    for i = 0 to t.bits - 1 do
+      let v = get t i in
+      let v = if Prng.bernoulli rng flip then not v else v in
+      if v then set out i
+    done;
+    out
+
+  let debias ~flip ~observed_ones ~bits =
+    if flip >= 0.5 then invalid_arg "Bloompsi.Filter.debias: flip must be < 0.5";
+    (* E[observed] = true*(1-q) + (m-true)*q  =>  invert *)
+    let m = float_of_int bits in
+    max 0. (min m ((observed_ones -. (m *. flip)) /. (1. -. (2. *. flip))))
+end
+
+type result = {
+  intersection_estimate : float;
+  union_estimate : float;
+  jaccard : float;
+  transport : Transport.t;
+}
+
+let run ?(bits = 4096) ?(hashes = 4) ?(flip = 0.) rng datasets =
+  let k = Array.length datasets in
+  if k < 2 then invalid_arg "Bloompsi.run: need at least two parties";
+  let transport = Transport.create ~parties:k in
+  let filters =
+    Array.map
+      (fun elements ->
+        let f = Filter.create ~bits ~hashes in
+        List.iter (Filter.add f) elements;
+        if flip > 0. then Filter.randomize rng ~flip f else f)
+      datasets
+  in
+  Array.iteri
+    (fun i _ -> Transport.broadcast transport ~src:i ((bits + 7) / 8))
+    filters;
+  (* Cardinality of any subset-union from the OR of its (noised)
+     filters, debiased per party count: the OR of noised filters is
+     itself biased; as a practical estimator we debias the observed
+     fill before inverting. *)
+  let union_cardinality subset =
+    let combined =
+      match subset with
+      | [] -> invalid_arg "Bloompsi: empty subset"
+      | first :: rest ->
+          List.fold_left (fun acc i -> Filter.union acc filters.(i)) filters.(first) rest
+    in
+    let observed = float_of_int (Filter.ones combined) in
+    let effective_flip =
+      (* a zero bit stays zero in the OR only if unflipped in every
+         filter of the subset *)
+      if flip = 0. then 0.
+      else 1. -. ((1. -. flip) ** float_of_int (List.length subset))
+    in
+    let debiased =
+      if flip = 0. then observed
+      else Filter.debias ~flip:effective_flip ~observed_ones:observed ~bits
+    in
+    let x = min debiased (float_of_int bits -. 1.) in
+    -.float_of_int bits /. float_of_int hashes
+    *. log (1. -. (x /. float_of_int bits))
+  in
+  (* inclusion-exclusion over all non-empty subsets *)
+  let intersection = ref 0. in
+  for mask = 1 to (1 lsl k) - 1 do
+    let subset = List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init k Fun.id) in
+    let sign = if List.length subset land 1 = 1 then 1. else -1. in
+    intersection := !intersection +. (sign *. union_cardinality subset)
+  done;
+  let union_estimate = union_cardinality (List.init k Fun.id) in
+  let intersection_estimate = max 0. !intersection in
+  let jaccard =
+    if union_estimate <= 0. then 0.
+    else max 0. (min 1. (intersection_estimate /. union_estimate))
+  in
+  { intersection_estimate; union_estimate; jaccard; transport }

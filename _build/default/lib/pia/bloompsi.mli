@@ -1,0 +1,63 @@
+(** Bloom-filter private set intersection cardinality estimation
+    (after Zander, Andrew & Armitage's capture-recapture PSI-CA, the
+    paper's reference for scalable PSI cardinality).
+
+    Each provider summarizes its component set as an [m]-bit Bloom
+    filter; the filters are exchanged (optionally randomized-response
+    noised, trading leakage for accuracy) and the standard fill-ratio
+    inversion estimates each set's and the union's cardinality, hence
+    the intersection and the Jaccard similarity. Costs are O(m) bytes
+    and hashing only — no public-key operations at all — at the price
+    of estimation error and of leaking noisy membership bits, a
+    different point in the paper's performance/precision/secrecy
+    design space (§1). *)
+
+module Filter : sig
+  type t
+
+  val create : bits:int -> hashes:int -> t
+  (** Raises [Invalid_argument] unless both are positive. *)
+
+  val add : t -> string -> unit
+  val mem : t -> string -> bool
+  (** No false negatives (before noising); false positives at the
+      usual Bloom rate. *)
+
+  val bits : t -> int
+  val hashes : t -> int
+  val ones : t -> int
+  (** Set bits. *)
+
+  val union : t -> t -> t
+  (** Bitwise OR. Raises [Invalid_argument] on mismatched geometry. *)
+
+  val estimate_cardinality : t -> float
+  (** [-m/h * ln(1 - ones/m)]; [infinity] when saturated. *)
+
+  val randomize : Indaas_util.Prng.t -> flip:float -> t -> t
+  (** Randomized response: each bit flipped independently with
+      probability [flip] (in \[0, 0.5)). *)
+
+  val debias : flip:float -> observed_ones:float -> bits:int -> float
+  (** Expected true set-bit count given the observed count after
+      {!randomize}. *)
+end
+
+type result = {
+  intersection_estimate : float;
+  union_estimate : float;
+  jaccard : float;  (** clamped to \[0, 1\] *)
+  transport : Transport.t;
+}
+
+val run :
+  ?bits:int ->
+  ?hashes:int ->
+  ?flip:float ->
+  Indaas_util.Prng.t ->
+  string list array ->
+  result
+(** Defaults: [bits] 4096, [hashes] 4, [flip] 0 (no noise). At least
+    two parties. Every party broadcasts one (noised) filter; the
+    estimates use inclusion–exclusion on the per-set and union
+    cardinality estimates. *)

@@ -1,0 +1,45 @@
+module SS = Set.Make (String)
+
+type t = SS.t
+
+let empty = SS.empty
+let of_list l = SS.of_list l
+let to_list = SS.elements
+let cardinal = SS.cardinal
+let mem = SS.mem
+let add = SS.add
+let union = SS.union
+let inter = SS.inter
+let union_many = List.fold_left SS.union SS.empty
+
+let inter_many = function
+  | [] -> invalid_arg "Componentset.inter_many: empty list"
+  | first :: rest -> List.fold_left SS.inter first rest
+
+let equal = SS.equal
+
+let normalize_router ~ip =
+  let octets = String.split_on_char '.' ip in
+  let valid_octet o =
+    match int_of_string_opt o with
+    | Some v -> v >= 0 && v <= 255 && o <> "" && String.length o <= 3
+    | None -> false
+  in
+  if List.length octets <> 4 || not (List.for_all valid_octet octets) then
+    invalid_arg (Printf.sprintf "Componentset.normalize_router: bad IP %S" ip);
+  "router:" ^ ip
+
+let normalize_package ~name ~version =
+  Printf.sprintf "pkg:%s=%s" (String.lowercase_ascii name) version
+
+let of_depdb db ~machine =
+  of_list (Indaas_depdata.Depdb.component_set db ~machine)
+
+let multiset_elements elements =
+  let counts = Hashtbl.create (List.length elements) in
+  List.map
+    (fun e ->
+      let k = (match Hashtbl.find_opt counts e with Some k -> k | None -> 0) + 1 in
+      Hashtbl.replace counts e k;
+      Printf.sprintf "%s#%d" e k)
+    elements

@@ -1,0 +1,40 @@
+(** Normalized component sets — the component-set level of detail PIA
+    operates on (paper §4.2.3).
+
+    Normalization guarantees that the same third-party component gets
+    the same identifier at every cloud provider: routers by reachable
+    IP address, software packages by canonical name plus version. *)
+
+type t
+
+val empty : t
+val of_list : string list -> t
+val to_list : t -> string list
+(** Sorted, duplicate-free. *)
+
+val cardinal : t -> int
+val mem : string -> t -> bool
+val add : string -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val union_many : t list -> t
+val inter_many : t list -> t
+(** Raises [Invalid_argument] on an empty list. *)
+
+val equal : t -> t -> bool
+
+val normalize_router : ip:string -> string
+(** ["router:<ip>"]. Raises [Invalid_argument] on a malformed IPv4
+    dotted quad. *)
+
+val normalize_package : name:string -> version:string -> string
+(** ["pkg:<lowercased name>=<version>"]. *)
+
+val of_depdb : Indaas_depdata.Depdb.t -> machine:string -> t
+(** Every component identifier [machine] depends on, as recorded in
+    the database (already-normalized identifiers pass through). *)
+
+val multiset_elements : string list -> string list
+(** The paper's duplicate disambiguation: an element [e] appearing [t]
+    times becomes [e‖1 … e‖t] (suffixing with ["#k"]), making the
+    input to P-SOP duplicate-free while preserving multiplicity. *)

@@ -1,0 +1,29 @@
+let of_cardinalities ~intersection ~union =
+  if intersection < 0 || union < 0 || intersection > union then
+    invalid_arg "Jaccard.of_cardinalities: inconsistent cardinalities";
+  if union = 0 then 0.
+  else float_of_int intersection /. float_of_int union
+
+let similarity sets =
+  match sets with
+  | [] -> invalid_arg "Jaccard.similarity: empty list"
+  | _ ->
+      let inter = Componentset.inter_many sets in
+      let union = Componentset.union_many sets in
+      of_cardinalities
+        ~intersection:(Componentset.cardinal inter)
+        ~union:(Componentset.cardinal union)
+
+let pairwise a b = similarity [ a; b ]
+
+let significantly_correlated j = j >= 0.75
+
+let distance sets = 1. -. similarity sets
+
+let sorensen_dice a b =
+  let total = Componentset.cardinal a + Componentset.cardinal b in
+  if total = 0 then 0.
+  else
+    2.
+    *. float_of_int (Componentset.cardinal (Componentset.inter a b))
+    /. float_of_int total

@@ -1,0 +1,26 @@
+(** Jaccard similarity (paper §4.2.2) — the PIA independence metric.
+
+    [J(S_0,…,S_{k-1}) = |∩S_i| / |∪S_i|]; 0 means fully independent
+    component sets, 1 identical. Sets with [J >= 0.75] are considered
+    significantly correlated (Walsh & Sirer, cited in the paper). *)
+
+val similarity : Componentset.t list -> float
+(** Exact Jaccard similarity. By convention the similarity of
+    all-empty sets is 0. Raises [Invalid_argument] on an empty list. *)
+
+val pairwise : Componentset.t -> Componentset.t -> float
+
+val of_cardinalities : intersection:int -> union:int -> float
+(** The computation PIA performs on P-SOP's outputs. *)
+
+val significantly_correlated : float -> bool
+(** [j >= 0.75]. *)
+
+val distance : Componentset.t list -> float
+(** [1 - similarity]: an independence score (higher = better). *)
+
+val sorensen_dice : Componentset.t -> Componentset.t -> float
+(** The Sørensen–Dice index [2|A∩B| / (|A| + |B|)] — the alternative
+    similarity metric the paper considers and passes over in §4.2.2
+    (Jaccard extends more readily to more than two datasets). Related
+    by [D = 2J/(1+J)]; 0 for two empty sets by convention. *)

@@ -1,0 +1,100 @@
+module Paillier = Indaas_crypto.Paillier
+module Oracle = Indaas_crypto.Oracle
+module Digest = Indaas_crypto.Digest
+module Prng = Indaas_util.Prng
+module Nat = Indaas_bignum.Nat
+
+type result = {
+  intersection : int;
+  transport : Transport.t;
+  crypto_ops : int;
+}
+
+let intersection_cardinality_exact datasets =
+  let sets = Array.map Componentset.of_list datasets in
+  Componentset.cardinal (Componentset.inter_many (Array.to_list sets))
+
+let run ?(key_bits = 256) ?(hash = Digest.SHA256) g datasets =
+  let k = Array.length datasets in
+  if k < 2 then invalid_arg "Ks.run: need at least two parties";
+  let transport = Transport.create ~parties:k in
+  let ops = ref 0 in
+  let keypair = Paillier.generate ~bits:key_bits g in
+  let pk = keypair.Paillier.public in
+  let n = Paillier.plaintext_space pk in
+  let cbytes = Paillier.ciphertext_bytes pk in
+  (* Hash elements into Z_n (strictly below n). *)
+  let element_bits = Nat.bit_length n - 1 in
+  let hashed =
+    Array.map
+      (fun elements ->
+        Componentset.to_list (Componentset.of_list elements)
+        |> List.map (fun e -> Oracle.hash_to_nat ~algorithm:hash e ~bits:element_bits))
+      datasets
+  in
+  (* Each party publishes its set polynomial with encrypted
+     coefficients to every other party. *)
+  let encrypted_polys =
+    Array.mapi
+      (fun i roots ->
+        let poly = Polynomial.from_roots ~modulus:n roots in
+        let coeffs = Polynomial.coefficients poly in
+        let enc =
+          Array.map
+            (fun c ->
+              incr ops;
+              Paillier.encrypt g pk c)
+            coeffs
+        in
+        Transport.broadcast transport ~src:i (Array.length enc * cbytes);
+        enc)
+      hashed
+  in
+  (* Oblivious Horner: Enc(f(e)) = Π Enc(c_j)^(e^j). *)
+  let eval_encrypted enc_coeffs e =
+    let acc = ref (Paillier.encrypt g pk Nat.zero) in
+    incr ops;
+    let power = ref Nat.one in
+    Array.iter
+      (fun c ->
+        let term = Paillier.scalar_mul pk !power c in
+        incr ops;
+        acc := Paillier.add pk !acc term;
+        incr ops;
+        power := Nat.rem (Nat.mul !power e) n)
+      enc_coeffs;
+    !acc
+  in
+  let random_blind () = Nat.add (Nat.random_below g (Nat.sub n Nat.one)) Nat.one in
+  (* Every party tests each of its elements against all foreign
+     polynomials: Enc(Σ_i r_i · f_i(e)) goes to the key holder, who
+     decrypts and reports zero / non-zero. *)
+  let counts =
+    Array.mapi
+      (fun j elements ->
+        let count = ref 0 in
+        List.iter
+          (fun e ->
+            let combined = ref (Paillier.encrypt g pk Nat.zero) in
+            incr ops;
+            Array.iteri
+              (fun i enc_poly ->
+                if i <> j then begin
+                  let value = eval_encrypted enc_poly e in
+                  let blinded = Paillier.scalar_mul pk (random_blind ()) value in
+                  incr ops;
+                  combined := Paillier.add pk !combined blinded;
+                  incr ops
+                end)
+              encrypted_polys;
+            if j <> 0 then Transport.send transport ~src:j ~dst:0 cbytes;
+            let plain = Paillier.decrypt keypair !combined in
+            incr ops;
+            if Nat.is_zero plain then incr count)
+          elements;
+        !count)
+      hashed
+  in
+  (* Every perspective counts the same global intersection. *)
+  Array.iter (fun c -> assert (c = counts.(0))) counts;
+  { intersection = counts.(0); transport; crypto_ops = !ops }

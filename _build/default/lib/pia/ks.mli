@@ -1,0 +1,39 @@
+(** Kissner–Song-style private set intersection cardinality (CRYPTO
+    2005) — the homomorphic-encryption baseline the paper compares
+    P-SOP against in §6.3.2.
+
+    Each party represents its set as the polynomial whose roots are
+    the (hashed) elements and publishes the polynomial with
+    Paillier-encrypted coefficients. An element [e] lies in every
+    other party's set iff every such polynomial vanishes at [e]; each
+    evaluation is done {e obliviously} under encryption via
+    homomorphic Horner steps, blinded by a random scalar, and the
+    blinded sums are decrypted to test for zero. Per element of one
+    party this costs [O(n)] ciphertext exponentiations per foreign
+    polynomial — the quadratic-ish growth visible in Figure 8(b) —
+    versus P-SOP's constant per-element work.
+
+    Honest-but-curious simplification: the first party holds the
+    Paillier key (the original uses threshold decryption); this
+    preserves the cost structure the benchmark measures. *)
+
+type result = {
+  intersection : int;  (** [|∩ S_i|] *)
+  transport : Transport.t;
+  crypto_ops : int;  (** Paillier ops (encrypt/scalar-mul/add/decrypt) *)
+}
+
+val run :
+  ?key_bits:int ->
+  ?hash:Indaas_crypto.Digest.algorithm ->
+  Indaas_util.Prng.t ->
+  string list array ->
+  result
+(** [run g datasets] with at least two parties. [key_bits] (default
+    256) sizes the Paillier modulus — the paper used 1024 (DESIGN.md
+    substitution 3). False positives (a blinded sum that is zero by
+    accident) have probability ~[1/n] per test — negligible at any
+    realistic key size. *)
+
+val intersection_cardinality_exact : string list array -> int
+(** Plaintext reference for tests. *)

@@ -1,0 +1,43 @@
+module Oracle = Indaas_crypto.Oracle
+
+let signature ~m set =
+  if m <= 0 then invalid_arg "Minhash.signature: m must be positive";
+  let elements = Componentset.to_list set in
+  if elements = [] then invalid_arg "Minhash.signature: empty set";
+  Array.init m (fun i ->
+      List.fold_left
+        (fun acc e ->
+          let h = Oracle.hash_int ~seed:i e in
+          if Int64.unsigned_compare h acc < 0 then h else acc)
+        Int64.minus_one (* = max unsigned value *)
+        elements)
+
+let signature_elements ~m set =
+  Array.to_list
+    (Array.mapi
+       (fun i v -> Printf.sprintf "%d:%Lx" i v)
+       (signature ~m set))
+
+let estimate signatures =
+  match signatures with
+  | [] -> invalid_arg "Minhash.estimate: no signatures"
+  | first :: rest ->
+      let m = Array.length first in
+      if m = 0 then invalid_arg "Minhash.estimate: empty signature";
+      List.iter
+        (fun s ->
+          if Array.length s <> m then
+            invalid_arg "Minhash.estimate: signature length mismatch")
+        rest;
+      let agree = ref 0 in
+      for i = 0 to m - 1 do
+        if List.for_all (fun s -> Int64.equal s.(i) first.(i)) rest then
+          incr agree
+      done;
+      float_of_int !agree /. float_of_int m
+
+let estimate_jaccard ~m sets = estimate (List.map (fun s -> signature ~m s) sets)
+
+let expected_error ~m =
+  if m <= 0 then invalid_arg "Minhash.expected_error: m must be positive";
+  1. /. sqrt (float_of_int m)

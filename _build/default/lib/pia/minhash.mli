@@ -1,0 +1,25 @@
+(** MinHash signatures (Broder 1997; paper §4.2.2).
+
+    A signature is the vector [(h^(i)_min(S))_{i=1..m}] of minima of
+    [S] under [m] keyed hash functions. The fraction of positions on
+    which the signatures of several sets agree estimates their Jaccard
+    similarity with expected error [O(1/sqrt m)]. *)
+
+val signature : m:int -> Componentset.t -> int64 array
+(** Raises [Invalid_argument] if [m <= 0] or the set is empty (an
+    empty set has no minima). *)
+
+val signature_elements : m:int -> Componentset.t -> string list
+(** The signature as a position-tagged element list ["i:<min>"] — the
+    “much smaller dataset” fed to P-SOP in the MinHash variant of PIA
+    (§4.2.4): the cardinality of the intersection of these lists is
+    exactly the number of agreeing positions δ. *)
+
+val estimate : int64 array list -> float
+(** [δ/m] across all signatures (they must share [m]). *)
+
+val estimate_jaccard : m:int -> Componentset.t list -> float
+(** Convenience: signatures + {!estimate}. *)
+
+val expected_error : m:int -> float
+(** [1/sqrt m], the standard-error scale of the estimator. *)

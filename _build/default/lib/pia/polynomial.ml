@@ -1,0 +1,93 @@
+module Nat = Indaas_bignum.Nat
+
+type t = { n : Nat.t; coeffs : Nat.t array (* low degree first, trimmed *) }
+
+let trim coeffs =
+  let len = ref (Array.length coeffs) in
+  while !len > 0 && Nat.is_zero coeffs.(!len - 1) do
+    decr len
+  done;
+  if !len = Array.length coeffs then coeffs else Array.sub coeffs 0 !len
+
+let check_modulus n =
+  if Nat.compare n Nat.two < 0 then
+    invalid_arg "Polynomial: modulus must be >= 2"
+
+let of_coefficients ~modulus coeffs =
+  check_modulus modulus;
+  { n = modulus; coeffs = trim (Array.map (fun c -> Nat.rem c modulus) coeffs) }
+
+let modulus p = p.n
+let degree p = Array.length p.coeffs - 1
+let coefficients p = Array.copy p.coeffs
+
+let zero ~modulus =
+  check_modulus modulus;
+  { n = modulus; coeffs = [||] }
+
+let constant ~modulus c = of_coefficients ~modulus [| c |]
+
+let check_same a b =
+  if not (Nat.equal a.n b.n) then invalid_arg "Polynomial: modulus mismatch"
+
+let add a b =
+  check_same a b;
+  let la = Array.length a.coeffs and lb = Array.length b.coeffs in
+  let coeffs =
+    Array.init (max la lb) (fun i ->
+        let ca = if i < la then a.coeffs.(i) else Nat.zero in
+        let cb = if i < lb then b.coeffs.(i) else Nat.zero in
+        Nat.rem (Nat.add ca cb) a.n)
+  in
+  { n = a.n; coeffs = trim coeffs }
+
+let mul a b =
+  check_same a b;
+  let la = Array.length a.coeffs and lb = Array.length b.coeffs in
+  if la = 0 || lb = 0 then { n = a.n; coeffs = [||] }
+  else begin
+    let out = Array.make (la + lb - 1) Nat.zero in
+    for i = 0 to la - 1 do
+      for j = 0 to lb - 1 do
+        out.(i + j) <-
+          Nat.rem (Nat.add out.(i + j) (Nat.mul a.coeffs.(i) b.coeffs.(j))) a.n
+      done
+    done;
+    { n = a.n; coeffs = trim out }
+  end
+
+let scale p k =
+  let k = Nat.rem k p.n in
+  { p with coeffs = trim (Array.map (fun c -> Nat.rem (Nat.mul c k) p.n) p.coeffs) }
+
+let from_roots ~modulus roots =
+  check_modulus modulus;
+  (* (x - r) = (x + (n - r)) mod n; multiply linear factors in. *)
+  List.fold_left
+    (fun acc r ->
+      let r = Nat.rem r modulus in
+      let neg_r = if Nat.is_zero r then Nat.zero else Nat.sub modulus r in
+      mul acc (of_coefficients ~modulus [| neg_r; Nat.one |]))
+    (constant ~modulus Nat.one)
+    roots
+
+let eval p x =
+  let x = Nat.rem x p.n in
+  let acc = ref Nat.zero in
+  for i = Array.length p.coeffs - 1 downto 0 do
+    acc := Nat.rem (Nat.add (Nat.mul !acc x) p.coeffs.(i)) p.n
+  done;
+  !acc
+
+let is_root p x = Nat.is_zero (eval p x)
+
+let equal a b = Nat.equal a.n b.n && a.coeffs = b.coeffs
+
+let pp fmt p =
+  if Array.length p.coeffs = 0 then Format.pp_print_string fmt "0"
+  else
+    Array.iteri
+      (fun i c ->
+        if i > 0 then Format.pp_print_string fmt " + ";
+        Format.fprintf fmt "%a·x^%d" Nat.pp c i)
+      p.coeffs

@@ -1,0 +1,37 @@
+(** Dense polynomial arithmetic over Z_n — substrate for the
+    Kissner–Song baseline, which represents a set as the polynomial
+    whose roots are its elements. *)
+
+module Nat = Indaas_bignum.Nat
+
+type t
+(** Coefficients in \[0, n), lowest degree first; the zero polynomial
+    has no coefficients. *)
+
+val modulus : t -> Nat.t
+val degree : t -> int
+(** Degree of the zero polynomial is -1. *)
+
+val coefficients : t -> Nat.t array
+
+val of_coefficients : modulus:Nat.t -> Nat.t array -> t
+(** Values are reduced mod n; leading zeros trimmed. *)
+
+val zero : modulus:Nat.t -> t
+val constant : modulus:Nat.t -> Nat.t -> t
+
+val from_roots : modulus:Nat.t -> Nat.t list -> t
+(** [Π (x - r_i)] — the set polynomial. The empty list gives the
+    constant 1. *)
+
+val add : t -> t -> t
+val mul : t -> t -> t
+val scale : t -> Nat.t -> t
+
+val eval : t -> Nat.t -> Nat.t
+(** Horner evaluation mod n. *)
+
+val is_root : t -> Nat.t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

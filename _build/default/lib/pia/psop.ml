@@ -1,0 +1,126 @@
+module Commutative = Indaas_crypto.Commutative
+module Oracle = Indaas_crypto.Oracle
+module Digest = Indaas_crypto.Digest
+module Prng = Indaas_util.Prng
+module Nat = Indaas_bignum.Nat
+
+let log_src = Logs.Src.create "indaas.psop" ~doc:"P-SOP protocol"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type result = {
+  intersection : int;
+  union : int;
+  jaccard : float;
+  transport : Transport.t;
+  crypto_ops : int;
+}
+
+(* The protocol core: returns the fully-encrypted dataset of every
+   party (as comparable ciphertext strings) plus accounting. *)
+let encrypt_all ~params ~hash g datasets =
+  let k = Array.length datasets in
+  if k < 2 then invalid_arg "Psop.run: need at least two parties";
+  let transport = Transport.create ~parties:k in
+  let crypto_ops = ref 0 in
+  let keys = Array.init k (fun _ -> Commutative.generate_key g params) in
+  let modulus = Commutative.modulus params in
+  let ciphertext_bytes = Commutative.modulus_bytes params in
+  (* Step 1: each party disambiguates duplicates, hashes every element
+     into the group and encrypts under its own key, then permutes. *)
+  let batches =
+    Array.mapi
+      (fun i elements ->
+        let unique = Componentset.multiset_elements elements in
+        let encrypted =
+          List.map
+            (fun e ->
+              incr crypto_ops;
+              Commutative.encrypt params keys.(i)
+                (Oracle.hash_to_group ~algorithm:hash e ~modulus))
+            unique
+        in
+        Prng.shuffle_list g encrypted)
+      datasets
+  in
+  (* Steps 2..k: forward around the ring; each hop re-encrypts under
+     the receiver's key and re-permutes. After k-1 hops, batch j has
+     been encrypted by all parties and sits at party (j + k-1) mod k. *)
+  let current = Array.copy batches in
+  for hop = 1 to k - 1 do
+    ignore hop;
+    let next = Array.make k [] in
+    Array.iteri
+      (fun owner batch ->
+        let holder = (owner + hop - 1) mod k in
+        let successor = (holder + 1) mod k in
+        Transport.send transport ~src:holder ~dst:successor
+          (List.length batch * ciphertext_bytes);
+        let re_encrypted =
+          List.map
+            (fun c ->
+              incr crypto_ops;
+              Commutative.encrypt params keys.(successor) c)
+            batch
+        in
+        next.(owner) <- Prng.shuffle_list g re_encrypted)
+      current;
+    Array.blit next 0 current 0 k
+  done;
+  (* Final sharing: each fully-encrypted batch is broadcast so that
+     every party can count common elements. *)
+  Array.iteri
+    (fun owner batch ->
+      let holder = (owner + k - 1) mod k in
+      Transport.broadcast transport ~src:holder
+        (List.length batch * ciphertext_bytes))
+    current;
+  let as_strings =
+    Array.map
+      (fun batch -> List.map (Commutative.ciphertext_to_string params) batch)
+      current
+  in
+  (as_strings, transport, !crypto_ops)
+
+let count_cardinalities encrypted_batches =
+  let sets =
+    Array.map (fun batch -> Componentset.of_list batch) encrypted_batches
+  in
+  let sets = Array.to_list sets in
+  ( Componentset.cardinal (Componentset.inter_many sets),
+    Componentset.cardinal (Componentset.union_many sets) )
+
+let run ?params ?(hash = Digest.SHA256) g datasets =
+  let params =
+    match params with
+    | Some p -> p
+    | None -> Commutative.params_pohlig_hellman ~bits:256 g
+  in
+  let encrypted, transport, crypto_ops = encrypt_all ~params ~hash g datasets in
+  let intersection, union = count_cardinalities encrypted in
+  Log.debug (fun f ->
+      f "P-SOP: %d parties, %d crypto ops, %d bytes, |inter|=%d |union|=%d"
+        (Array.length datasets) crypto_ops
+        (Transport.total_bytes transport) intersection union);
+  {
+    intersection;
+    union;
+    jaccard = Jaccard.of_cardinalities ~intersection ~union;
+    transport;
+    crypto_ops;
+  }
+
+let run_minhash ?params ?(hash = Digest.SHA256) ~m g datasets =
+  let signatures =
+    Array.map
+      (fun elements ->
+        Minhash.signature_elements ~m (Componentset.of_list elements))
+      datasets
+  in
+  let result = run ?params ~hash g signatures in
+  (* δ = number of agreeing positions = |∩ signatures|. *)
+  {
+    result with
+    union = m;
+    jaccard = float_of_int result.intersection /. float_of_int m;
+  }

@@ -1,0 +1,45 @@
+(** P-SOP — private set intersection cardinality over a ring of
+    parties using commutative encryption (Vaidya & Clifton 2005;
+    paper §4.2.2, §6.1.2).
+
+    Each party hashes its (duplicate-disambiguated) elements into the
+    shared group, encrypts them under its own commutative key,
+    permutes them, and forwards the batch around the logical ring;
+    after [k] hops every element is encrypted under all [k] keys, in
+    an order-insensitive way — so equal plaintexts at different
+    parties end in equal ciphertexts, and the parties can count
+    [|∩S_i|] and [|∪S_i|] on the shared ciphertext multisets without
+    learning any plaintext. The paper's prototype instantiates the
+    pieces with MD5 + commutative RSA; the default here is SHA-256 +
+    Pohlig–Hellman (both selectable). *)
+
+type result = {
+  intersection : int;  (** [|∩ S_i|] *)
+  union : int;  (** [|∪ S_i|] *)
+  jaccard : float;
+  transport : Transport.t;  (** traffic accounting for Figure 8(a) *)
+  crypto_ops : int;  (** total commutative encryptions performed *)
+}
+
+val run :
+  ?params:Indaas_crypto.Commutative.params ->
+  ?hash:Indaas_crypto.Digest.algorithm ->
+  Indaas_util.Prng.t ->
+  string list array ->
+  result
+(** [run g datasets] executes the protocol among
+    [Array.length datasets] parties (at least 2). Fresh 256-bit
+    Pohlig–Hellman parameters are generated unless [params] is given.
+    Raises [Invalid_argument] with fewer than two parties. *)
+
+val run_minhash :
+  ?params:Indaas_crypto.Commutative.params ->
+  ?hash:Indaas_crypto.Digest.algorithm ->
+  m:int ->
+  Indaas_util.Prng.t ->
+  string list array ->
+  result
+(** The large-dataset variant of §4.2.4: each party first compresses
+    its set to an [m]-position MinHash signature, and the signatures
+    are run through P-SOP. [jaccard] is then [δ/m]; [union] reports
+    [m]. *)

@@ -1,0 +1,36 @@
+type t = {
+  n : int;
+  sent : int array;
+  received : int array;
+  mutable message_count : int;
+}
+
+let create ~parties =
+  if parties <= 0 then invalid_arg "Transport.create: parties must be positive";
+  {
+    n = parties;
+    sent = Array.make parties 0;
+    received = Array.make parties 0;
+    message_count = 0;
+  }
+
+let send t ~src ~dst bytes =
+  if src < 0 || src >= t.n then invalid_arg "Transport.send: bad src";
+  if dst < 0 || dst >= t.n then invalid_arg "Transport.send: bad dst";
+  if src = dst then invalid_arg "Transport.send: src = dst";
+  if bytes < 0 then invalid_arg "Transport.send: negative size";
+  t.sent.(src) <- t.sent.(src) + bytes;
+  t.received.(dst) <- t.received.(dst) + bytes;
+  t.message_count <- t.message_count + 1
+
+let broadcast t ~src bytes =
+  for dst = 0 to t.n - 1 do
+    if dst <> src then send t ~src ~dst bytes
+  done
+
+let parties t = t.n
+let messages t = t.message_count
+let bytes_sent_by t i = t.sent.(i)
+let bytes_received_by t i = t.received.(i)
+let total_bytes t = Array.fold_left ( + ) 0 t.sent
+let max_party_bytes t = Array.fold_left max 0 t.sent

@@ -1,0 +1,26 @@
+(** Simulated message transport with traffic accounting.
+
+    PIA's protocols run between co-located simulated parties; this
+    module records who sent how many bytes to whom, so the Figure 8(a)
+    bandwidth-overhead series can be measured rather than modelled. *)
+
+type t
+
+val create : parties:int -> t
+
+val send : t -> src:int -> dst:int -> int -> unit
+(** [send t ~src ~dst bytes] accounts one message. Raises
+    [Invalid_argument] on out-of-range endpoints, [src = dst], or
+    negative size. *)
+
+val broadcast : t -> src:int -> int -> unit
+(** One message of the given size to every other party. *)
+
+val parties : t -> int
+val messages : t -> int
+val bytes_sent_by : t -> int -> int
+val bytes_received_by : t -> int -> int
+val total_bytes : t -> int
+val max_party_bytes : t -> int
+(** Largest per-party outbound total — the per-provider overhead the
+    paper plots. *)

@@ -1,0 +1,1 @@
+lib/sia/audit.ml: Builder Indaas_faultgraph Indaas_util List Rank

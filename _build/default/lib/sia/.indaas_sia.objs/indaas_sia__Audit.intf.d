@@ -1,0 +1,1 @@
+lib/sia/audit.mli: Builder Indaas_depdata Indaas_faultgraph Indaas_util Rank

@@ -1,0 +1,1 @@
+lib/sia/builder.ml: Fun Indaas_depdata Indaas_faultgraph List Option Printf

@@ -1,0 +1,1 @@
+lib/sia/builder.mli: Indaas_depdata Indaas_faultgraph

@@ -1,0 +1,1 @@
+lib/sia/rank.ml: Array Indaas_faultgraph List

@@ -1,0 +1,1 @@
+lib/sia/rank.mli: Indaas_faultgraph Indaas_util

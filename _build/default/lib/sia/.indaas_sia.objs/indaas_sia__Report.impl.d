@@ -1,0 +1,1 @@
+lib/sia/report.ml: Audit Buffer Format Indaas_faultgraph Indaas_util List Printf Rank String

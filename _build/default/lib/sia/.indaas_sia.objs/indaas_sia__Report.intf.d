@@ -1,0 +1,1 @@
+lib/sia/report.mli: Audit Indaas_util

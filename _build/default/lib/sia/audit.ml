@@ -1,0 +1,96 @@
+module Graph = Indaas_faultgraph.Graph
+module Cutset = Indaas_faultgraph.Cutset
+module Sampling = Indaas_faultgraph.Sampling
+module Prng = Indaas_util.Prng
+
+type rg_algorithm =
+  | Minimal_rg of { max_size : int option; max_family : int option }
+  | Failure_sampling of Sampling.config
+
+let minimal_rg = Minimal_rg { max_size = None; max_family = None }
+
+let failure_sampling ~rounds =
+  Failure_sampling { Sampling.default_config with Sampling.rounds }
+
+type ranking = Size_based | Probability_based
+
+type request = {
+  spec : Builder.spec;
+  algorithm : rg_algorithm;
+  ranking : ranking;
+  top_n : int option;
+}
+
+let request ?required ?component_probability ?(algorithm = minimal_rg)
+    ?(ranking = Size_based) ?top_n servers =
+  {
+    spec = Builder.spec ?required ?component_probability servers;
+    algorithm;
+    ranking;
+    top_n;
+  }
+
+type deployment_report = {
+  servers : string list;
+  graph : Graph.t;
+  ranked : Rank.ranked list;
+  unexpected : Rank.ranked list;
+  independence_score : float;
+  failure_probability : float option;
+  expected_rg_size : int;
+}
+
+let determine_rgs rng algorithm graph =
+  match algorithm with
+  | Minimal_rg { max_size; max_family } ->
+      Cutset.minimal_risk_groups ?max_size ?max_family graph
+  | Failure_sampling config ->
+      (Sampling.run ~config rng graph).Sampling.risk_groups
+
+let audit ?(rng = Prng.of_int 0xD1CE) db request =
+  let graph = Builder.build db request.spec in
+  let rgs = determine_rgs rng request.algorithm graph in
+  let ranked, score, failure_probability =
+    match request.ranking with
+    | Size_based ->
+        let ranked = Rank.size_based graph rgs in
+        (ranked, Rank.independence_score_size ?top_n:request.top_n ranked, None)
+    | Probability_based ->
+        let ranked = Rank.probability_based rng graph rgs in
+        ( ranked,
+          Rank.independence_score_importance ?top_n:request.top_n ranked,
+          Some (Rank.top_probability rng graph rgs) )
+  in
+  let expected_rg_size = Builder.expected_rg_size request.spec in
+  {
+    servers = request.spec.Builder.servers;
+    graph;
+    ranked;
+    unexpected = Rank.unexpected ~expected_size:expected_rg_size ranked;
+    independence_score = score;
+    failure_probability;
+    expected_rg_size;
+  }
+
+let compare_reports a b =
+  match compare (List.length a.unexpected) (List.length b.unexpected) with
+  | 0 -> (
+      match (a.failure_probability, b.failure_probability) with
+      | Some pa, Some pb when pa <> pb -> compare pa pb
+      | _ ->
+          (* Size-based score: higher is more independent. Full ties
+             keep candidate order (stable sort below). *)
+          compare b.independence_score a.independence_score)
+  | c -> c
+
+let audit_candidates ?rng db ~candidates request =
+  List.map
+    (fun servers ->
+      audit ?rng db { request with spec = { request.spec with Builder.servers } })
+    candidates
+  |> List.stable_sort compare_reports
+
+let choose_best ?rng db ~candidates request =
+  match audit_candidates ?rng db ~candidates request with
+  | best :: _ -> best
+  | [] -> invalid_arg "Audit.choose_best: no candidates"

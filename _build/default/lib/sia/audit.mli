@@ -1,0 +1,84 @@
+(** The Structural Independence Auditing protocol (paper §4.1):
+    build the dependency graph, determine risk groups, rank them, and
+    produce a report — for one deployment or across all candidate
+    deployments. *)
+
+module Graph = Indaas_faultgraph.Graph
+module Cutset = Indaas_faultgraph.Cutset
+module Sampling = Indaas_faultgraph.Sampling
+
+(** Pluggable RG-determination backend (§4.1.2). *)
+type rg_algorithm =
+  | Minimal_rg of { max_size : int option; max_family : int option }
+      (** exact; worst-case exponential *)
+  | Failure_sampling of Sampling.config  (** linear-time, incomplete *)
+
+val minimal_rg : rg_algorithm
+(** [Minimal_rg] with no size bound and the default family budget. *)
+
+val failure_sampling : rounds:int -> rg_algorithm
+(** Sampling with the paper's fair coins and witness shrinking. *)
+
+(** Ranking discipline (§4.1.3). *)
+type ranking = Size_based | Probability_based
+
+type request = {
+  spec : Builder.spec;
+  algorithm : rg_algorithm;
+  ranking : ranking;
+  top_n : int option;  (** RGs included in the independence score *)
+}
+
+val request :
+  ?required:int ->
+  ?component_probability:(string -> float option) ->
+  ?algorithm:rg_algorithm ->
+  ?ranking:ranking ->
+  ?top_n:int ->
+  string list ->
+  request
+(** Defaults: exact minimal-RG algorithm, size-based ranking, all RGs
+    scored. *)
+
+type deployment_report = {
+  servers : string list;
+  graph : Graph.t;
+  ranked : Rank.ranked list;
+  unexpected : Rank.ranked list;
+      (** minimal RGs smaller than the intended size — empty for a
+          truly independent deployment *)
+  independence_score : float;
+  failure_probability : float option;
+      (** [Pr(T)] when probability ranking was used *)
+  expected_rg_size : int;
+}
+
+val audit :
+  ?rng:Indaas_util.Prng.t -> Indaas_depdata.Depdb.t -> request -> deployment_report
+(** Audit one deployment. [rng] drives sampling and Monte-Carlo
+    estimation (defaults to a fixed seed for reproducibility). *)
+
+val compare_reports : deployment_report -> deployment_report -> int
+(** Deployment preference order for the final report: fewest
+    unexpected RGs first, then lower failure probability (when
+    available), then higher independence score, then server names. *)
+
+val audit_candidates :
+  ?rng:Indaas_util.Prng.t ->
+  Indaas_depdata.Depdb.t ->
+  candidates:string list list ->
+  request ->
+  deployment_report list
+(** Audits every candidate server set (the request's own server list
+    is ignored) and returns the reports best-first. This is how the
+    client picks “the most independent redundancy deployment”
+    (§4.1.4). *)
+
+val choose_best :
+  ?rng:Indaas_util.Prng.t ->
+  Indaas_depdata.Depdb.t ->
+  candidates:string list list ->
+  request ->
+  deployment_report
+(** First element of {!audit_candidates}. Raises [Invalid_argument]
+    on an empty candidate list. *)

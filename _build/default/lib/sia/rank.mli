@@ -1,0 +1,40 @@
+(** Risk-group ranking and independence scores (paper §4.1.3–§4.1.4). *)
+
+module Graph = Indaas_faultgraph.Graph
+module Cutset = Indaas_faultgraph.Cutset
+
+type ranked = {
+  rg : Cutset.rg;
+  rg_names : string list;
+  size : int;
+  probability : float option;  (** Pr(all events in the RG occur) *)
+  importance : float option;  (** I_C = Pr(C)/Pr(T), when weighted *)
+}
+
+val size_based : Graph.t -> Cutset.rg list -> ranked list
+(** Ascending by size (smallest — most alarming — first); ties in
+    deterministic name order. [probability]/[importance] are [None]. *)
+
+val probability_based :
+  Indaas_util.Prng.t -> Graph.t -> Cutset.rg list -> ranked list
+(** Descending by relative importance. Requires every basic event to
+    carry a probability ({!Indaas_faultgraph.Probability.Missing_probability}
+    otherwise). [Pr(T)] uses inclusion–exclusion when tractable,
+    Monte-Carlo otherwise. *)
+
+val top_probability :
+  Indaas_util.Prng.t -> Graph.t -> Cutset.rg list -> float
+(** The [Pr(T)] used by {!probability_based}. *)
+
+val independence_score_size : ?top_n:int -> ranked list -> float
+(** [indep(R) = Σ size(c_i)] over the first [top_n] ranked RGs
+    (default: all). Higher = more independent. *)
+
+val independence_score_importance : ?top_n:int -> ranked list -> float
+(** [indep(R) = Σ I_{c_i}] over the first [top_n] ranked RGs. Lower =
+    more independent (the mass is concentrated in unlikely RGs).
+    Raises [Invalid_argument] if importances are missing. *)
+
+val unexpected : expected_size:int -> ranked list -> ranked list
+(** The RGs strictly smaller than the deployment's intended RG size —
+    the unexpected RGs of §1. *)

@@ -1,0 +1,115 @@
+module Table = Indaas_util.Table
+
+let braces names = "{" ^ String.concat ", " names ^ "}"
+
+let opt_float = function
+  | None -> "-"
+  | Some f -> Printf.sprintf "%.6g" f
+
+let render_deployment ?(max_rgs = 20) (r : Audit.deployment_report) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "Deployment: %s\n" (braces r.Audit.servers));
+  Buffer.add_string buf
+    (Printf.sprintf "  fault graph: %s\n"
+       (Format.asprintf "%a" Indaas_faultgraph.Graph.pp r.Audit.graph));
+  Buffer.add_string buf
+    (Printf.sprintf "  risk groups: %d (expected minimal size %d)\n"
+       (List.length r.Audit.ranked) r.Audit.expected_rg_size);
+  Buffer.add_string buf
+    (Printf.sprintf "  unexpected RGs: %d\n" (List.length r.Audit.unexpected));
+  Buffer.add_string buf
+    (Printf.sprintf "  independence score: %.6g\n" r.Audit.independence_score);
+  (match r.Audit.failure_probability with
+  | Some p -> Buffer.add_string buf (Printf.sprintf "  Pr(deployment fails): %.6g\n" p)
+  | None -> ());
+  let t =
+    Table.create
+      ~aligns:[ Table.Right; Table.Left; Table.Right; Table.Right; Table.Right ]
+      [ "rank"; "risk group"; "size"; "Pr(C)"; "importance" ]
+  in
+  List.iteri
+    (fun i (rg : Rank.ranked) ->
+      if i < max_rgs then
+        Table.add_row t
+          [
+            string_of_int (i + 1);
+            braces rg.Rank.rg_names;
+            string_of_int rg.Rank.size;
+            opt_float rg.Rank.probability;
+            opt_float rg.Rank.importance;
+          ])
+    r.Audit.ranked;
+  Buffer.add_string buf (Table.render t);
+  if List.length r.Audit.ranked > max_rgs then
+    Buffer.add_string buf
+      (Printf.sprintf "\n  (%d more risk groups omitted)"
+         (List.length r.Audit.ranked - max_rgs));
+  Buffer.contents buf
+
+let summary_line (r : Audit.deployment_report) =
+  Printf.sprintf "%s: %d RGs, %d unexpected, score %.6g%s"
+    (braces r.Audit.servers)
+    (List.length r.Audit.ranked)
+    (List.length r.Audit.unexpected)
+    r.Audit.independence_score
+    (match r.Audit.failure_probability with
+    | Some p -> Printf.sprintf ", Pr(fail) %.6g" p
+    | None -> "")
+
+let render_comparison ?(max_rows = 30) reports =
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Right; Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "rank"; "deployment"; "#RGs"; "#unexpected"; "score"; "Pr(fail)" ]
+  in
+  List.iteri
+    (fun i (r : Audit.deployment_report) ->
+      if i < max_rows then
+        Table.add_row t
+          [
+            string_of_int (i + 1);
+            braces r.Audit.servers;
+            string_of_int (List.length r.Audit.ranked);
+            string_of_int (List.length r.Audit.unexpected);
+            Printf.sprintf "%.6g" r.Audit.independence_score;
+            opt_float r.Audit.failure_probability;
+          ])
+    reports;
+  let rendered = Table.render t in
+  if List.length reports > max_rows then
+    rendered
+    ^ Printf.sprintf "\n(%d more deployments omitted)"
+        (List.length reports - max_rows)
+  else rendered
+
+module Json = Indaas_util.Json
+
+let ranked_to_json (rg : Rank.ranked) =
+  Json.Obj
+    [
+      ("components", Json.List (List.map (fun n -> Json.String n) rg.Rank.rg_names));
+      ("size", Json.Int rg.Rank.size);
+      ( "probability",
+        match rg.Rank.probability with Some p -> Json.Float p | None -> Json.Null );
+      ( "importance",
+        match rg.Rank.importance with Some i -> Json.Float i | None -> Json.Null );
+    ]
+
+let deployment_to_json (r : Audit.deployment_report) =
+  Json.Obj
+    [
+      ("servers", Json.List (List.map (fun s -> Json.String s) r.Audit.servers));
+      ("expected_rg_size", Json.Int r.Audit.expected_rg_size);
+      ("risk_groups", Json.List (List.map ranked_to_json r.Audit.ranked));
+      ("unexpected", Json.List (List.map ranked_to_json r.Audit.unexpected));
+      ("independence_score", Json.Float r.Audit.independence_score);
+      ( "failure_probability",
+        match r.Audit.failure_probability with
+        | Some p -> Json.Float p
+        | None -> Json.Null );
+    ]
+
+let comparison_to_json reports =
+  Json.List (List.map deployment_to_json reports)

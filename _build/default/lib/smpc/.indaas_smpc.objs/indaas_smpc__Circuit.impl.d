@@ -1,0 +1,1 @@
+lib/smpc/circuit.ml: Array List Printf

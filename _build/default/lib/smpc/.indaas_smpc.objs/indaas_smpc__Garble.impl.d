@@ -1,0 +1,1 @@
+lib/smpc/garble.ml: Array Bytes Char Circuit Indaas_bignum Indaas_crypto Indaas_util List Ot Printf String

@@ -1,0 +1,1 @@
+lib/smpc/garble.mli: Circuit Indaas_util

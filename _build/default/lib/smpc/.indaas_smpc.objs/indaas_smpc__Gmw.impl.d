@@ -1,0 +1,1 @@
+lib/smpc/gmw.ml: Array Circuit Indaas_bignum Indaas_crypto Indaas_util List Ot Printf

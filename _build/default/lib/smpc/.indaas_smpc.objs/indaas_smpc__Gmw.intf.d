@@ -1,0 +1,1 @@
+lib/smpc/gmw.mli: Circuit Indaas_util

@@ -1,0 +1,1 @@
+lib/smpc/ot.ml: Array Buffer Char Indaas_bignum Indaas_crypto Indaas_util Printf String

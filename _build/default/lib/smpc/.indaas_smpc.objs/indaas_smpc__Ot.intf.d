@@ -1,0 +1,1 @@
+lib/smpc/ot.mli: Indaas_util

@@ -1,0 +1,167 @@
+type wire = int
+
+type gate =
+  | Input of { party : int }
+  | Constant of bool
+  | Xor of wire * wire
+  | And of wire * wire
+  | Not of wire
+
+type t = { gates : gate array; outputs : wire list }
+
+module Builder = struct
+  type circuit = t
+
+  type t = { mutable acc : gate list; mutable count : int }
+
+  let create () = { acc = []; count = 0 }
+
+  let push b gate =
+    let id = b.count in
+    b.count <- id + 1;
+    b.acc <- gate :: b.acc;
+    id
+
+  let check b w name =
+    if w < 0 || w >= b.count then
+      invalid_arg (Printf.sprintf "Circuit.Builder.%s: unknown wire %d" name w)
+
+  let input b ~party =
+    if party <> 0 && party <> 1 then
+      invalid_arg "Circuit.Builder.input: party must be 0 or 1";
+    push b (Input { party })
+
+  let constant b v = push b (Constant v)
+
+  let xor b x y =
+    check b x "xor";
+    check b y "xor";
+    push b (Xor (x, y))
+
+  let and_ b x y =
+    check b x "and_";
+    check b y "and_";
+    push b (And (x, y))
+
+  let not_ b x =
+    check b x "not_";
+    push b (Not x)
+
+  let or_ b x y = not_ b (and_ b (not_ b x) (not_ b y))
+
+  let xnor b x y = not_ b (xor b x y)
+
+  let rec tree op b = function
+    | [] -> invalid_arg "Circuit.Builder: empty tree"
+    | [ w ] -> w
+    | ws ->
+        (* pairwise reduction keeps the depth logarithmic *)
+        let rec pairs = function
+          | a :: b' :: rest -> op a b' :: pairs rest
+          | ([ _ ] | []) as rest -> rest
+        in
+        tree op b (pairs ws)
+
+  let and_tree b ws = tree (and_ b) b ws
+  let or_tree b ws = tree (or_ b) b ws
+
+  let equal b xs ys =
+    if List.length xs <> List.length ys then
+      invalid_arg "Circuit.Builder.equal: width mismatch";
+    if xs = [] then invalid_arg "Circuit.Builder.equal: empty words";
+    and_tree b (List.map2 (xnor b) xs ys)
+
+  (* Little-endian ripple-carry adder; result is one bit wider. *)
+  let add b xs ys =
+    if List.length xs <> List.length ys then
+      invalid_arg "Circuit.Builder.add: width mismatch";
+    let carry = ref (constant b false) in
+    let sum_bits =
+      List.map2
+        (fun x y ->
+          let s1 = xor b x y in
+          let s = xor b s1 !carry in
+          (* carry-out = (x AND y) OR (carry AND (x XOR y)) *)
+          let c1 = and_ b x y in
+          let c2 = and_ b !carry s1 in
+          carry := or_ b c1 c2;
+          s)
+        xs ys
+    in
+    sum_bits @ [ !carry ]
+
+  let rec popcount b = function
+    | [] -> [ constant b false ]
+    | [ w ] -> [ w ]
+    | ws ->
+        (* split in half, sum recursively, add with padding *)
+        let rec split i = function
+          | [] -> ([], [])
+          | x :: rest ->
+              let l, r = split (i + 1) rest in
+              if i mod 2 = 0 then (x :: l, r) else (l, x :: r)
+        in
+        let left, right = split 0 ws in
+        let a = popcount b left and c = popcount b right in
+        let width = max (List.length a) (List.length c) in
+        let pad ws =
+          ws @ List.init (width - List.length ws) (fun _ -> constant b false)
+        in
+        add b (pad a) (pad c)
+
+  let build b ~outputs =
+    List.iter (fun w -> check b w "build") outputs;
+    { gates = Array.of_list (List.rev b.acc); outputs }
+end
+
+let gates c = c.gates
+let outputs c = c.outputs
+let size c = Array.length c.gates
+
+let and_count c =
+  Array.fold_left
+    (fun acc g -> match g with And _ -> acc + 1 | _ -> acc)
+    0 c.gates
+
+let input_wires c ~party =
+  let out = ref [] in
+  Array.iteri
+    (fun i g ->
+      match g with
+      | Input { party = p } when p = party -> out := i :: !out
+      | Input _ | Constant _ | Xor _ | And _ | Not _ -> ())
+    c.gates;
+  List.rev !out
+
+let evaluate c ~inputs =
+  let values = Array.make (Array.length c.gates) false in
+  Array.iteri
+    (fun i g ->
+      match g with
+      | Input _ -> (
+          match List.assoc_opt i inputs with
+          | Some v -> values.(i) <- v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Circuit.evaluate: input wire %d unassigned" i))
+      | Constant v -> values.(i) <- v
+      | Xor (a, b) -> values.(i) <- values.(a) <> values.(b)
+      | And (a, b) -> values.(i) <- values.(a) && values.(b)
+      | Not a -> values.(i) <- not values.(a))
+    c.gates;
+  List.map (fun w -> values.(w)) c.outputs
+
+let intersection_cardinality ~bits ~n0 ~n1 =
+  if bits <= 0 || n0 <= 0 || n1 <= 0 then
+    invalid_arg "Circuit.intersection_cardinality: sizes must be positive";
+  let b = Builder.create () in
+  let word party = List.init bits (fun _ -> Builder.input b ~party) in
+  let party0 = List.init n0 (fun _ -> word 0) in
+  let party1 = List.init n1 (fun _ -> word 1) in
+  let matched =
+    List.map
+      (fun x -> Builder.or_tree b (List.map (fun y -> Builder.equal b x y) party1))
+      party0
+  in
+  let count = Builder.popcount b matched in
+  (Builder.build b ~outputs:count, (party0, party1))

@@ -1,0 +1,86 @@
+(** Boolean circuits for secure multi-party computation.
+
+    The paper's first candidate for private independence auditing was
+    generic SMPC (Xiao et al., CCSW 2013), rejected because it
+    "performs adequately only on small dependency datasets" (§4.2).
+    This module provides the circuit representation the {!Gmw}
+    protocol evaluates — and the set-intersection-cardinality circuit
+    whose O(n²·ℓ) AND gates are precisely why SMPC loses to P-SOP.
+
+    Wires are numbered; gates are XOR / AND / NOT over earlier wires
+    (an acyclic straight-line program). Inputs belong to one of two
+    parties. *)
+
+type wire = int
+
+type gate =
+  | Input of { party : int }  (** 0 or 1 *)
+  | Constant of bool
+  | Xor of wire * wire
+  | And of wire * wire
+  | Not of wire
+
+type t
+
+(** {1 Building} *)
+
+module Builder : sig
+  type circuit = t
+  type t
+
+  val create : unit -> t
+  val input : t -> party:int -> wire
+  val constant : t -> bool -> wire
+  val xor : t -> wire -> wire -> wire
+  val and_ : t -> wire -> wire -> wire
+  val not_ : t -> wire -> wire
+  val or_ : t -> wire -> wire -> wire
+  (** [or_ a b] = [not (not a and not b)] — costs one AND gate. *)
+
+  val xnor : t -> wire -> wire -> wire
+
+  val equal : t -> wire list -> wire list -> wire
+  (** Bitwise equality of two equal-length words: ℓ XNORs and an
+      (ℓ-1)-AND tree. Raises [Invalid_argument] on length mismatch or
+      empty words. *)
+
+  val or_tree : t -> wire list -> wire
+  val and_tree : t -> wire list -> wire
+
+  val add : t -> wire list -> wire list -> wire list
+  (** Ripple-carry addition of two little-endian words of equal
+      length; result has one more bit. *)
+
+  val popcount : t -> wire list -> wire list
+  (** Sum of the given bits as a little-endian word (an adder tree). *)
+
+  val build : t -> outputs:wire list -> circuit
+  (** Raises [Invalid_argument] on an unknown output wire. *)
+end
+
+(** {1 Inspection and evaluation} *)
+
+val gates : t -> gate array
+val outputs : t -> wire list
+val size : t -> int
+val and_count : t -> int
+(** Number of AND gates — the unit of GMW cost (XOR and NOT are
+    free). *)
+
+val input_wires : t -> party:int -> wire list
+(** In declaration order. *)
+
+val evaluate : t -> inputs:(wire * bool) list -> bool list
+(** Plaintext reference evaluation. Every input wire must be
+    assigned; raises [Invalid_argument] otherwise. *)
+
+(** {1 The SMPC workload} *)
+
+val intersection_cardinality :
+  bits:int -> n0:int -> n1:int -> t * (wire list list * wire list list)
+(** [intersection_cardinality ~bits ~n0 ~n1] builds the circuit that
+    takes [n0] [bits]-wide tags from party 0 and [n1] from party 1 and
+    outputs (little-endian) the number of party-0 tags that appear in
+    party 1's list — O(n0·n1) equality comparators plus a popcount.
+    Also returns the input wires of each element, grouped per element,
+    for both parties. *)

@@ -1,0 +1,145 @@
+module Prng = Indaas_util.Prng
+module Digest = Indaas_crypto.Digest
+module Oracle = Indaas_crypto.Oracle
+
+type result = {
+  outputs : bool list;
+  and_gates : int;
+  table_bytes : int;
+  ot_count : int;
+  ot_exponentiations : int;
+  bytes : int;
+}
+
+let label_len = 16
+
+let xor_bytes a b =
+  String.init (String.length a) (fun i ->
+      Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+(* point-and-permute color bit *)
+let color label = Char.code label.[0] land 1 = 1
+
+let hash_gate a b gate =
+  String.sub (Digest.sha256 (Printf.sprintf "garble-%d|%s|%s" gate a b)) 0 label_len
+
+let random_label rng = Bytes.to_string (Prng.bytes rng label_len)
+
+let execute ?(ot_bits = 128) rng circuit ~inputs0 ~inputs1 =
+  let params = Ot.setup ~bits:ot_bits rng in
+  let gates = Circuit.gates circuit in
+  let n = Array.length gates in
+  (* Free-XOR: label(true) = label(false) XOR delta, lsb(delta) = 1 so
+     the color bits of a wire's two labels always differ. *)
+  let delta =
+    let d = Bytes.of_string (random_label rng) in
+    Bytes.set d 0 (Char.chr (Char.code (Bytes.get d 0) lor 1));
+    Bytes.to_string d
+  in
+  let zero_label = Array.make n "" in
+  (* what the evaluator holds: one active label per wire *)
+  let active = Array.make n "" in
+  let table_bytes = ref 0 in
+  let ot_count = ref 0 in
+  let lookup inputs w party =
+    match List.assoc_opt w inputs with
+    | Some v -> v
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Garble.execute: party %d missing input wire %d" party w)
+  in
+  let label_of w v = if v then xor_bytes zero_label.(w) delta else zero_label.(w) in
+  let and_gates = ref 0 in
+  Array.iteri
+    (fun w gate ->
+      match gate with
+      | Circuit.Input { party } ->
+          zero_label.(w) <- random_label rng;
+          if party = 0 then
+            (* garbler sends the active label directly *)
+            active.(w) <- label_of w (lookup inputs0 w 0)
+          else begin
+            (* evaluator picks up its label by OT *)
+            incr ot_count;
+            let v = lookup inputs1 w 1 in
+            active.(w) <-
+              Ot.transfer2_bytes params rng
+                ~messages:(label_of w false, label_of w true)
+                ~choice:v
+          end
+      | Circuit.Constant c ->
+          zero_label.(w) <- random_label rng;
+          active.(w) <- label_of w c
+      | Circuit.Xor (a, b) ->
+          (* free-XOR *)
+          zero_label.(w) <- xor_bytes zero_label.(a) zero_label.(b);
+          active.(w) <- xor_bytes active.(a) active.(b)
+      | Circuit.Not a ->
+          (* free: negation = swap the label roles *)
+          zero_label.(w) <- xor_bytes zero_label.(a) delta;
+          active.(w) <- active.(a)
+      | Circuit.And (a, b) ->
+          incr and_gates;
+          zero_label.(w) <- random_label rng;
+          (* garble the 4-row table, rows indexed by the input labels'
+             color bits *)
+          let table = Array.make 4 "" in
+          List.iter
+            (fun va ->
+              List.iter
+                (fun vb ->
+                  let la = label_of a va and lb = label_of b vb in
+                  let row = ((if color la then 2 else 0) lor if color lb then 1 else 0) in
+                  table.(row) <-
+                    xor_bytes (hash_gate la lb w) (label_of w (va && vb)))
+                [ false; true ])
+            [ false; true ];
+          table_bytes := !table_bytes + (4 * label_len);
+          (* evaluation: decrypt the row selected by the active colors *)
+          let la = active.(a) and lb = active.(b) in
+          let row = ((if color la then 2 else 0) lor if color lb then 1 else 0) in
+          active.(w) <- xor_bytes (hash_gate la lb w) table.(row))
+    gates;
+  (* Output decoding: the garbler reveals color(zero_label) per output. *)
+  let outputs =
+    List.map
+      (fun w -> color active.(w) <> color zero_label.(w))
+      (Circuit.outputs circuit)
+  in
+  let stats = Ot.stats params in
+  {
+    outputs;
+    and_gates = !and_gates;
+    table_bytes = !table_bytes;
+    ot_count = !ot_count;
+    ot_exponentiations = stats.Ot.exponentiations;
+    bytes = stats.Ot.bytes + !table_bytes;
+  }
+
+let bits_of_tag tag ~tag_bits =
+  let h = Oracle.hash_to_nat tag ~bits:tag_bits in
+  List.init tag_bits (fun i -> Indaas_bignum.Nat.testbit h i)
+
+let intersection_cardinality ?(ot_bits = 128) ?(tag_bits = 24) rng set0 set1 =
+  let set0 = List.sort_uniq compare set0 and set1 = List.sort_uniq compare set1 in
+  let circuit, (wires0, wires1) =
+    Circuit.intersection_cardinality ~bits:tag_bits ~n0:(List.length set0)
+      ~n1:(List.length set1)
+  in
+  let assign wires elements =
+    List.concat
+      (List.map2
+         (fun ws e -> List.combine ws (bits_of_tag e ~tag_bits))
+         wires elements)
+  in
+  let result =
+    execute ~ot_bits rng circuit ~inputs0:(assign wires0 set0)
+      ~inputs1:(assign wires1 set1)
+  in
+  let count =
+    List.fold_left
+      (fun acc bit -> (2 * acc) + if bit then 1 else 0)
+      0
+      (List.rev result.outputs)
+  in
+  (result, count)

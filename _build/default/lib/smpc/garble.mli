@@ -1,0 +1,39 @@
+(** Yao's garbled circuits (two-party, semi-honest), with free-XOR and
+    point-and-permute.
+
+    The second classic route to generic SMPC: the garbler (party 0)
+    encrypts a truth table per AND gate under hash-derived keys; the
+    evaluator (party 1) obtains the labels of its input bits by
+    oblivious transfer and then evaluates the whole circuit with {e
+    four hashes per AND gate} and no further interaction — constant
+    rounds, unlike GMW's OT per AND gate. XOR and NOT gates are free
+    (label XOR). Still quadratic on the set-intersection circuit, so
+    the conclusion of paper §4.2 stands; the ablation bench
+    quantifies the GMW/Yao gap. *)
+
+type result = {
+  outputs : bool list;
+  and_gates : int;
+  table_bytes : int;  (** garbled tables shipped to the evaluator *)
+  ot_count : int;  (** one per evaluator input bit *)
+  ot_exponentiations : int;
+  bytes : int;  (** OT traffic + tables *)
+}
+
+val execute :
+  ?ot_bits:int ->
+  Indaas_util.Prng.t ->
+  Circuit.t ->
+  inputs0:(Circuit.wire * bool) list ->
+  inputs1:(Circuit.wire * bool) list ->
+  result
+(** Same interface as {!Gmw.execute}. *)
+
+val intersection_cardinality :
+  ?ot_bits:int ->
+  ?tag_bits:int ->
+  Indaas_util.Prng.t ->
+  string list ->
+  string list ->
+  result * int
+(** Same interface as {!Gmw.intersection_cardinality}. *)

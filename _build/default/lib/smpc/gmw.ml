@@ -1,0 +1,102 @@
+module Prng = Indaas_util.Prng
+module Oracle = Indaas_crypto.Oracle
+
+type result = {
+  outputs : bool list;
+  and_gates : int;
+  ot_exponentiations : int;
+  bytes : int;
+}
+
+let execute ?(ot_bits = 128) rng circuit ~inputs0 ~inputs1 =
+  let params = Ot.setup ~bits:ot_bits rng in
+  let gates = Circuit.gates circuit in
+  let n = Array.length gates in
+  (* share0 xor share1 = wire value *)
+  let share0 = Array.make n false in
+  let share1 = Array.make n false in
+  let lookup inputs w party =
+    match List.assoc_opt w inputs with
+    | Some v -> v
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Gmw.execute: party %d missing input wire %d" party w)
+  in
+  let and_gates = ref 0 in
+  Array.iteri
+    (fun w gate ->
+      match gate with
+      | Circuit.Input { party } ->
+          let v =
+            if party = 0 then lookup inputs0 w 0 else lookup inputs1 w 1
+          in
+          let r = Prng.bool rng in
+          if party = 0 then begin
+            share0.(w) <- v <> r;
+            share1.(w) <- r
+          end
+          else begin
+            share1.(w) <- v <> r;
+            share0.(w) <- r
+          end
+      | Circuit.Constant c ->
+          share0.(w) <- c;
+          share1.(w) <- false
+      | Circuit.Xor (a, b) ->
+          share0.(w) <- share0.(a) <> share0.(b);
+          share1.(w) <- share1.(a) <> share1.(b)
+      | Circuit.Not a ->
+          share0.(w) <- not share0.(a);
+          share1.(w) <- share1.(a)
+      | Circuit.And (a, b) ->
+          incr and_gates;
+          (* Party 0 blinds the four possible results with r; party 1
+             obliviously picks the entry matching its shares. *)
+          let a0 = share0.(a) and b0 = share0.(b) in
+          let r = Prng.bool rng in
+          let entry a1 b1 = r <> ((a0 <> a1) && (b0 <> b1)) in
+          let messages =
+            (entry false false, entry false true, entry true false, entry true true)
+          in
+          let choice =
+            (if share1.(a) then 2 else 0) + if share1.(b) then 1 else 0
+          in
+          share1.(w) <- Ot.transfer4 params rng ~messages ~choice;
+          share0.(w) <- r)
+    gates;
+  let stats = Ot.stats params in
+  {
+    outputs =
+      List.map (fun w -> share0.(w) <> share1.(w)) (Circuit.outputs circuit);
+    and_gates = !and_gates;
+    ot_exponentiations = stats.Ot.exponentiations;
+    bytes = stats.Ot.bytes;
+  }
+
+let bits_of_tag tag ~tag_bits =
+  let h = Oracle.hash_to_nat tag ~bits:tag_bits in
+  List.init tag_bits (fun i -> Indaas_bignum.Nat.testbit h i)
+
+let intersection_cardinality ?(ot_bits = 128) ?(tag_bits = 24) rng set0 set1 =
+  let set0 = List.sort_uniq compare set0 and set1 = List.sort_uniq compare set1 in
+  let circuit, (wires0, wires1) =
+    Circuit.intersection_cardinality ~bits:tag_bits ~n0:(List.length set0)
+      ~n1:(List.length set1)
+  in
+  let assign wires elements =
+    List.concat
+      (List.map2
+         (fun ws e -> List.combine ws (bits_of_tag e ~tag_bits))
+         wires elements)
+  in
+  let result =
+    execute ~ot_bits rng circuit ~inputs0:(assign wires0 set0)
+      ~inputs1:(assign wires1 set1)
+  in
+  let count =
+    List.fold_left
+      (fun acc bit -> (2 * acc) + if bit then 1 else 0)
+      0
+      (List.rev result.outputs)
+  in
+  (result, count)

@@ -1,0 +1,41 @@
+(** Two-party semi-honest GMW evaluation of boolean circuits.
+
+    Every wire value is XOR-shared between the two parties; XOR and
+    NOT gates are evaluated locally, and each AND gate consumes one
+    1-out-of-4 oblivious transfer. This is the generic-SMPC route to
+    private independence auditing that the paper evaluates and
+    rejects (§4.2): correct on anything expressible as a circuit, but
+    the OT-per-AND cost makes the O(n²·ℓ)-gate set-intersection
+    circuit hopeless beyond toy sizes — which the [smpc] benchmark
+    measures. *)
+
+type result = {
+  outputs : bool list;  (** reconstructed output bits *)
+  and_gates : int;  (** = OTs performed *)
+  ot_exponentiations : int;
+  bytes : int;  (** OT traffic *)
+}
+
+val execute :
+  ?ot_bits:int ->
+  Indaas_util.Prng.t ->
+  Circuit.t ->
+  inputs0:(Circuit.wire * bool) list ->
+  inputs1:(Circuit.wire * bool) list ->
+  result
+(** Runs the protocol between two simulated parties holding the
+    respective input assignments. Raises [Invalid_argument] if an
+    input wire of either party is missing or assigned by the wrong
+    party. *)
+
+val intersection_cardinality :
+  ?ot_bits:int ->
+  ?tag_bits:int ->
+  Indaas_util.Prng.t ->
+  string list ->
+  string list ->
+  result * int
+(** The §4.2 use case end-to-end: hash both component lists to
+    [tag_bits]-wide tags (default 24), build the
+    {!Circuit.intersection_cardinality} circuit, run GMW, and decode
+    the counter. Returns the protocol result and the cardinality. *)

@@ -1,0 +1,138 @@
+module Nat = Indaas_bignum.Nat
+module Prime = Indaas_bignum.Prime
+module Digest = Indaas_crypto.Digest
+module Oracle = Indaas_crypto.Oracle
+module Prng = Indaas_util.Prng
+
+type stats = { mutable exponentiations : int; mutable bytes : int }
+
+type params = {
+  p : Nat.t;  (** prime modulus *)
+  g : Nat.t;  (** generator (heuristically, a small element) *)
+  crs : Nat.t;  (** common reference element with unknown dlog *)
+  stats : stats;
+}
+
+let setup ?(bits = 128) rng =
+  let p = Prime.generate rng ~bits in
+  (* A fixed small base; for the semi-honest simulation a full-order
+     generator check is unnecessary. *)
+  let g = Nat.of_int 5 in
+  let crs = Oracle.hash_to_group "ot-crs" ~modulus:p in
+  { p; g; crs; stats = { exponentiations = 0; bytes = 0 } }
+
+let stats t = t.stats
+
+let modexp t base exp =
+  t.stats.exponentiations <- t.stats.exponentiations + 1;
+  Nat.mod_pow ~base ~exp ~modulus:t.p
+
+let account_bytes t n = t.stats.bytes <- t.stats.bytes + n
+
+let group_bytes t = Nat.byte_length t.p
+
+(* Hash a group element to one pad bit, domain-separated by index. *)
+let pad_bit element ~index =
+  let d = Digest.sha256 (Printf.sprintf "ot-pad-%d|%s" index (Nat.to_hex element)) in
+  Char.code d.[0] land 1 = 1
+
+(* Generic 1-out-of-m for single-bit messages. *)
+let transfer_m t rng messages ~choice =
+  let m = Array.length messages in
+  if choice < 0 || choice >= m then invalid_arg "Ot.transfer: bad choice";
+  (* Receiver: knows dlog of pk.(choice) only; the other keys are
+     forced to crs^i / pk_choice-style combinations. We use the
+     standard trick pk_i = crs^i / pk_0' ... simplified: pk_choice =
+     g^k; for i <> choice, pk_i = crs * hash-independent shift — for a
+     semi-honest simulation it suffices that the receiver cannot know
+     two dlogs, which holds because pk_i / pk_choice involves crs. *)
+  let k = Nat.random_below rng (Nat.sub t.p Nat.two) in
+  let pk_choice = modexp t t.g k in
+  let pks =
+    Array.init m (fun i ->
+        if i = choice then pk_choice
+        else begin
+          (* crs^(i+1) * pk_choice^-1 mod p *)
+          let shifted = modexp t t.crs (Nat.of_int (i + 1)) in
+          match Nat.mod_inverse pk_choice t.p with
+          | Some inv -> Nat.rem (Nat.mul shifted inv) t.p
+          | None -> shifted (* pk_choice not invertible: negligible *)
+        end)
+  in
+  account_bytes t (m * group_bytes t);
+  (* Sender: ElGamal-encrypt each message bit under pk_i. *)
+  let ciphertexts =
+    Array.mapi
+      (fun i pk ->
+        let r = Nat.random_below rng (Nat.sub t.p Nat.two) in
+        let c1 = modexp t t.g r in
+        let mask = pad_bit (modexp t pk r) ~index:i in
+        (c1, messages.(i) <> mask (* bit XOR pad *)))
+      pks
+  in
+  account_bytes t (m * (group_bytes t + 1));
+  (* Receiver opens its branch. *)
+  let c1, masked = ciphertexts.(choice) in
+  let pad = pad_bit (modexp t c1 k) ~index:choice in
+  masked <> pad
+
+(* Expand a group element into a byte pad of the needed length. *)
+let pad_bytes element ~index ~len =
+  let buf = Buffer.create len in
+  let block = ref 0 in
+  while Buffer.length buf < len do
+    Buffer.add_string buf
+      (Digest.sha256
+         (Printf.sprintf "ot-padb-%d-%d|%s" index !block (Nat.to_hex element)));
+    incr block
+  done;
+  Buffer.sub buf 0 len
+
+let xor_bytes a b =
+  String.init (String.length a) (fun i ->
+      Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+(* Same key arrangement as [transfer_m], but messages are strings. *)
+let transfer_m_bytes t rng messages ~choice =
+  let m = Array.length messages in
+  if choice < 0 || choice >= m then invalid_arg "Ot.transfer: bad choice";
+  let len = String.length messages.(0) in
+  Array.iter
+    (fun msg ->
+      if String.length msg <> len then
+        invalid_arg "Ot.transfer2_bytes: length mismatch")
+    messages;
+  let k = Nat.random_below rng (Nat.sub t.p Nat.two) in
+  let pk_choice = modexp t t.g k in
+  let pks =
+    Array.init m (fun i ->
+        if i = choice then pk_choice
+        else begin
+          let shifted = modexp t t.crs (Nat.of_int (i + 1)) in
+          match Nat.mod_inverse pk_choice t.p with
+          | Some inv -> Nat.rem (Nat.mul shifted inv) t.p
+          | None -> shifted
+        end)
+  in
+  account_bytes t (m * group_bytes t);
+  let ciphertexts =
+    Array.mapi
+      (fun i pk ->
+        let r = Nat.random_below rng (Nat.sub t.p Nat.two) in
+        let c1 = modexp t t.g r in
+        let pad = pad_bytes (modexp t pk r) ~index:i ~len in
+        (c1, xor_bytes messages.(i) pad))
+      pks
+  in
+  account_bytes t (m * (group_bytes t + len));
+  let c1, masked = ciphertexts.(choice) in
+  xor_bytes masked (pad_bytes (modexp t c1 k) ~index:choice ~len)
+
+let transfer2_bytes t rng ~messages:(m0, m1) ~choice =
+  transfer_m_bytes t rng [| m0; m1 |] ~choice:(if choice then 1 else 0)
+
+let transfer2 t rng ~messages:(m0, m1) ~choice =
+  transfer_m t rng [| m0; m1 |] ~choice:(if choice then 1 else 0)
+
+let transfer4 t rng ~messages:(m0, m1, m2, m3) ~choice =
+  transfer_m t rng [| m0; m1; m2; m3 |] ~choice

@@ -1,0 +1,52 @@
+(** Oblivious transfer (semi-honest, Bellare–Micali style over a
+    prime-order-ish group).
+
+    The GMW protocol consumes one 1-out-of-4 OT per AND gate. The
+    receiver publishes public keys of which it knows exactly one
+    secret exponent (the others are fixed by a common reference
+    element with unknown discrete log), the sender ElGamal-encrypts
+    each message under the corresponding key, and the receiver can
+    open only its chosen branch. Each OT costs a handful of modular
+    exponentiations — which is exactly why circuit-based SMPC drowns
+    at O(n²·ℓ) AND gates (paper §4.2). *)
+
+type params
+(** Group parameters plus the common reference element. *)
+
+val setup : ?bits:int -> Indaas_util.Prng.t -> params
+(** Default 128-bit modulus (short for speed; this baseline exists to
+    be measured, not to protect real data — see DESIGN.md). *)
+
+type stats = { mutable exponentiations : int; mutable bytes : int }
+
+val stats : params -> stats
+(** Running totals over every transfer under these parameters. *)
+
+val transfer2 :
+  params ->
+  Indaas_util.Prng.t ->
+  messages:(bool * bool) ->
+  choice:bool ->
+  bool
+(** 1-out-of-2 OT of single bits: returns [fst messages] when [choice]
+    is [false], [snd messages] otherwise — with the sender learning
+    nothing about [choice] and the receiver nothing about the other
+    message. *)
+
+val transfer4 :
+  params ->
+  Indaas_util.Prng.t ->
+  messages:(bool * bool * bool * bool) ->
+  choice:int ->
+  bool
+(** 1-out-of-4 OT of single bits; [choice] in \[0, 3\]. *)
+
+val transfer2_bytes :
+  params ->
+  Indaas_util.Prng.t ->
+  messages:(string * string) ->
+  choice:bool ->
+  string
+(** 1-out-of-2 OT of equal-length byte strings (wire labels for
+    garbled circuits). Raises [Invalid_argument] on a length
+    mismatch. *)

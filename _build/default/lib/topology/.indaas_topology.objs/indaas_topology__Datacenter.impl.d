@@ -1,0 +1,1 @@
+lib/topology/datacenter.ml: Indaas_depdata List Printf

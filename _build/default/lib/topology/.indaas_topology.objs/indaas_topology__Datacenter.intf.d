@@ -1,0 +1,1 @@
+lib/topology/datacenter.mli: Indaas_depdata

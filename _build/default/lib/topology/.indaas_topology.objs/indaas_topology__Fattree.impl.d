@@ -1,0 +1,1 @@
+lib/topology/fattree.ml: Indaas_depdata List Printf

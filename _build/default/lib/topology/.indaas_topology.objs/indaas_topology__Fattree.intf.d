@@ -1,0 +1,1 @@
+lib/topology/fattree.mli: Indaas_depdata

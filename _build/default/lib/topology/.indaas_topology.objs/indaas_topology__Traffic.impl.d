@@ -1,0 +1,1 @@
+lib/topology/traffic.ml: Array Fattree Indaas_depdata Indaas_util List

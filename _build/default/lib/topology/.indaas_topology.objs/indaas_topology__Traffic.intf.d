@@ -1,0 +1,1 @@
+lib/topology/traffic.mli: Fattree Indaas_depdata Indaas_util

@@ -1,0 +1,51 @@
+module Dependency = Indaas_depdata.Dependency
+
+(* Static reconstruction; [t] is a placeholder for future
+   parameterized variants. *)
+type t = unit
+
+let create () = ()
+
+let rack_ids () = List.init 33 (fun i -> i + 1)
+
+let candidate_racks () = List.init 18 (fun i -> i + 5) @ [ 29; 33 ]
+
+let rack_name r = Printf.sprintf "Rack%d" r
+
+let server_of_rack r = Printf.sprintf "serverR%d" r
+
+(* ToR assignment: candidate racks 5..22 mostly have their own ToR,
+   but three ToR switches are shared by rack pairs (5,6), (11,12) and
+   (17,18) — the kind of consolidation the measured topology
+   exhibits. Non-candidate racks keep private ToRs. *)
+let tor_of_rack () r =
+  let shared_owner =
+    match r with 6 -> Some 5 | 12 -> Some 11 | 18 -> Some 17 | _ -> None
+  in
+  match shared_owner with
+  | Some owner -> Printf.sprintf "e%d" owner
+  | None -> Printf.sprintf "e%d" r
+
+(* Core connectivity: racks 1..28 uplink through b1 only (the
+   single-core funnel at the heart of the case study); racks 29..33
+   uplink through c1 only. Cores b2 and c2 exist as spares wired to
+   non-candidate infrastructure. *)
+let cores_of_rack () r =
+  if r >= 1 && r <= 28 then [ "b1" ]
+  else if r >= 29 && r <= 33 then [ "c1" ]
+  else invalid_arg (Printf.sprintf "Datacenter.cores_of_rack: rack %d" r)
+
+let routes t ~rack =
+  let tor = tor_of_rack t rack in
+  List.map (fun core -> [ tor; core ]) (cores_of_rack t rack)
+
+let network_records t ~rack =
+  let src = server_of_rack rack in
+  List.map
+    (fun route -> Dependency.network ~src ~dst:"Internet" ~route)
+    (routes t ~rack)
+
+let all_network_records t =
+  List.concat_map (fun rack -> network_records t ~rack) (candidate_racks t)
+
+let device_failure_probability = 0.1

@@ -1,0 +1,54 @@
+(** The §6.2.1 case-study data center.
+
+    Models a real-world-shaped enterprise data center in the spirit of
+    the topology the paper takes from Benson et al. (IMC 2010):
+    33 Top-of-Rack switches (e1–e33) and four core routers (b1, b2,
+    c1, c2). The original measured topology is not public, so this
+    module reconstructs one with the same ingredients and the same
+    pathology the case study exercises — most candidate racks'
+    uplinks funnel through a single core router, so most two-way
+    deployments share a single point of failure, and only a minority
+    of rack pairs are safe picks (paper: 27 of 190; this
+    reconstruction: 36 of 190 — see EXPERIMENTS.md).
+
+    Candidate racks for deployment are racks 5–22 (single-homed
+    through core [b1], some sharing ToR switches) plus racks 29 and
+    33 (single-homed through core [c1]) — 20 candidates, giving the
+    paper's 190 two-way deployments, with {e Rack 5 + Rack 29} the
+    first maximally-independent pair in rank order. *)
+
+type t
+
+val create : unit -> t
+
+val rack_ids : t -> int list
+(** All rack identifiers (1–33). *)
+
+val candidate_racks : t -> int list
+(** The 20 racks Alice's specification names. *)
+
+val rack_name : int -> string
+(** ["Rack5"]. *)
+
+val server_of_rack : int -> string
+(** The representative replica server in a rack, ["serverR5"]. *)
+
+val tor_of_rack : t -> int -> string
+(** The ToR switch a rack's servers attach to (ToRs may be shared
+    between racks). *)
+
+val cores_of_rack : t -> int -> string list
+(** Core routers reachable from the rack's ToR uplinks. *)
+
+val routes : t -> rack:int -> string list list
+(** Up-paths from the rack's replica server to the Internet:
+    [[tor; core]] per reachable core. *)
+
+val network_records : t -> rack:int -> Indaas_depdata.Dependency.t list
+
+val all_network_records : t -> Indaas_depdata.Dependency.t list
+(** Records for every candidate rack's replica server. *)
+
+val device_failure_probability : float
+(** 0.1 — the uniform per-device failure probability the case study
+    assumes for its probability cross-check. *)

@@ -1,0 +1,78 @@
+module Dependency = Indaas_depdata.Dependency
+
+type t = { k : int }
+
+let create ~k =
+  if k < 4 || k mod 2 <> 0 then
+    invalid_arg "Fattree.create: k must be an even integer >= 4";
+  { k }
+
+let k t = t.k
+let half t = t.k / 2
+let core_count t = half t * half t
+let agg_count t = t.k * half t
+let edge_count t = t.k * half t
+let server_count t = t.k * t.k * t.k / 4
+let device_count t = core_count t + agg_count t + edge_count t + server_count t
+
+let check_range what i limit =
+  if i < 0 || i >= limit then
+    invalid_arg (Printf.sprintf "Fattree.%s: index %d out of range" what i)
+
+let server_name t i =
+  check_range "server_name" i (server_count t);
+  Printf.sprintf "server%d" i
+
+let edge_name t i =
+  check_range "edge_name" i (edge_count t);
+  Printf.sprintf "tor%d" i
+
+let agg_name t i =
+  check_range "agg_name" i (agg_count t);
+  Printf.sprintf "agg%d" i
+
+let core_name t i =
+  check_range "core_name" i (core_count t);
+  Printf.sprintf "core%d" i
+
+let server_names t = List.init (server_count t) (fun i -> server_name t i)
+
+(* Server i lives under edge switch (i / (k/2)); edge switches are
+   numbered globally, pod p owning edges [p*k/2 .. (p+1)*k/2 - 1]. *)
+let rack_of_server t i =
+  check_range "rack_of_server" i (server_count t);
+  i / half t
+
+let servers_of_rack t rack =
+  check_range "servers_of_rack" rack (edge_count t);
+  List.init (half t) (fun j -> (rack * half t) + j)
+
+let pod_of_server t i = rack_of_server t i / half t
+
+let routes_to_core t ~server =
+  check_range "routes_to_core" server (server_count t);
+  let h = half t in
+  let rack = rack_of_server t server in
+  let pod = rack / h in
+  List.concat
+    (List.init h (fun a ->
+         let agg_global = (pod * h) + a in
+         List.init h (fun c ->
+             let core_global = (a * h) + c in
+             [ edge_name t rack; agg_name t agg_global; core_name t core_global ])))
+
+let network_records t ~server =
+  let src = server_name t server in
+  List.map
+    (fun route -> Dependency.network ~src ~dst:"Internet" ~route)
+    (routes_to_core t ~server)
+
+let table3_row t =
+  [
+    string_of_int t.k;
+    string_of_int (core_count t);
+    string_of_int (agg_count t);
+    string_of_int (edge_count t);
+    string_of_int (server_count t);
+    string_of_int (device_count t);
+  ]

@@ -1,0 +1,57 @@
+(** Three-stage fat-tree data-center topologies (PortLand-style),
+    the generator behind Table 3 and the Figure 7 workloads.
+
+    A [k]-port fat tree has [k] pods; each pod contains [k/2]
+    aggregation and [k/2] edge (Top-of-Rack) switches; each edge
+    switch serves [k/2] servers; [(k/2)^2] core routers connect the
+    pods, with aggregation switch [a] of every pod linked to cores
+    [a*k/2 .. a*k/2 + k/2 - 1]. Counts: [(k/2)^2] cores, [k^2/2]
+    aggregation switches, [k^2/2] ToR switches, [k^3/4] servers —
+    matching the paper's Table 3 for k = 16, 24, 48. *)
+
+type t
+
+val create : k:int -> t
+(** [create ~k] requires an even [k >= 4]. *)
+
+val k : t -> int
+val core_count : t -> int
+val agg_count : t -> int
+val edge_count : t -> int
+val server_count : t -> int
+val device_count : t -> int
+(** Switches/routers plus servers — the paper's “Total # devices”. *)
+
+(** {1 Names} — stable identifiers used in dependency records. *)
+
+val server_name : t -> int -> string
+(** Servers are numbered [0 .. server_count-1]. *)
+
+val edge_name : t -> int -> string
+val agg_name : t -> int -> string
+val core_name : t -> int -> string
+
+val server_names : t -> string list
+
+val rack_of_server : t -> int -> int
+(** The (global) edge-switch index of a server's rack. *)
+
+val servers_of_rack : t -> int -> int list
+(** Server indices attached to edge switch [rack]. *)
+
+val pod_of_server : t -> int -> int
+
+(** {1 Routing} *)
+
+val routes_to_core : t -> server:int -> string list list
+(** All distinct up-paths from a server to the core layer, each as
+    the device names traversed: [edge; agg; core]. A server has
+    [(k/2)^2] of them. *)
+
+val network_records : t -> server:int -> Indaas_depdata.Dependency.t list
+(** One Table 1 network record per route, destination ["Internet"]
+    (paper Figure 3). *)
+
+val table3_row : t -> string list
+(** [#ports; #core; #agg; #tor; #servers; total] as strings — one
+    column of the paper's Table 3. *)

@@ -1,0 +1,40 @@
+module Prng = Indaas_util.Prng
+module Flowmine = Indaas_depdata.Flowmine
+module Depdb = Indaas_depdata.Depdb
+
+type config = {
+  flows_per_server : int;
+  drop_probability : float;
+}
+
+let default_config = { flows_per_server = 50; drop_probability = 0. }
+
+let generate ?(config = default_config) rng t ~servers =
+  if config.flows_per_server <= 0 then
+    invalid_arg "Traffic.generate: flows_per_server must be positive";
+  if not (config.drop_probability >= 0. && config.drop_probability < 1.) then
+    invalid_arg "Traffic.generate: drop_probability out of [0, 1)";
+  let flow_counter = ref 0 in
+  List.concat_map
+    (fun server ->
+      let src = Fattree.server_name t server in
+      let paths = Array.of_list (Fattree.routes_to_core t ~server) in
+      List.concat
+        (List.init config.flows_per_server (fun _ ->
+             let flow = !flow_counter in
+             incr flow_counter;
+             (* ECMP: pick one equal-cost path per flow *)
+             let path = Prng.pick rng paths in
+             List.filteri
+               (fun _ _ -> not (Prng.bernoulli rng config.drop_probability))
+               (List.mapi
+                  (fun hop device ->
+                    { Flowmine.flow; src; dst = "Internet"; device; hop })
+                  path))))
+    servers
+
+let mined_database ?config ?min_occurrences rng t ~servers =
+  let observations = generate ?config rng t ~servers in
+  let db = Depdb.create () in
+  Depdb.add_all db (Flowmine.mine ?min_occurrences observations);
+  db

@@ -1,0 +1,35 @@
+(** Synthetic traffic generation over fat-tree topologies — the input
+    side of the NSDMiner model ({!Indaas_depdata.Flowmine}).
+
+    Each generated flow picks one of the server's equal-cost up-paths
+    (ECMP-style) and produces one observation per device on it;
+    optionally each observation is dropped with some probability
+    (monitoring loss), which exercises the miner's corruption and
+    thresholding logic. *)
+
+type config = {
+  flows_per_server : int;
+  drop_probability : float;  (** per-observation loss, in \[0, 1) *)
+}
+
+val default_config : config
+(** 50 flows per server, no loss. *)
+
+val generate :
+  ?config:config ->
+  Indaas_util.Prng.t ->
+  Fattree.t ->
+  servers:int list ->
+  Indaas_depdata.Flowmine.observation list
+(** Flows from each listed server toward ["Internet"]. Flow ids are
+    unique across the whole batch. *)
+
+val mined_database :
+  ?config:config ->
+  ?min_occurrences:int ->
+  Indaas_util.Prng.t ->
+  Fattree.t ->
+  servers:int list ->
+  Indaas_depdata.Depdb.t
+(** Convenience: generate traffic, mine it, store the records — the
+    full acquisition path from packets to DepDB. *)

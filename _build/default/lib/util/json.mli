@@ -1,0 +1,23 @@
+(** Minimal JSON emitter (no parser) for machine-readable reports.
+
+    Deliberately tiny: auditing reports need to be consumed by
+    dashboards and ticketing systems, not round-tripped. Numbers are
+    emitted with enough precision to reconstruct doubles; strings are
+    escaped per RFC 8259. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Compact by default; [~indent:true] pretty-prints with two-space
+    indentation. Raises [Invalid_argument] on NaN or infinite floats
+    (they have no JSON representation). *)
+
+val escape_string : string -> string
+(** The quoted, escaped form of a string literal. *)

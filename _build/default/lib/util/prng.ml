@@ -1,0 +1,113 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let of_int seed = create (Int64.of_int seed)
+
+(* SplitMix64 finalizer: mix the incremented state to an output word. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g =
+  let seed = next_int64 g in
+  create (mix64 seed)
+
+let copy g = { state = g.state }
+
+let bits30 g = Int64.to_int (Int64.shift_right_logical (next_int64 g) 34)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  if bound <= 1 lsl 29 then begin
+    (* Rejection sampling on 30 bits to avoid modulo bias. *)
+    let mask = bound - 1 in
+    if bound land mask = 0 then bits30 g land mask
+    else
+      let rec draw () =
+        let r = bits30 g in
+        let v = r mod bound in
+        if r - v > (1 lsl 30) - bound then draw () else v
+      in
+      draw ()
+  end
+  else
+    (* Large bounds: use 62 bits. *)
+    let rec draw () =
+      let r = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
+      let v = r mod bound in
+      if r - v > max_int - bound then draw () else v
+    in
+    draw ()
+
+let int64_in g bound =
+  if Int64.compare bound 0L <= 0 then invalid_arg "Prng.int64_in: bound must be positive";
+  let rec draw () =
+    let r = Int64.shift_right_logical (next_int64 g) 1 in
+    let v = Int64.rem r bound in
+    if Int64.compare (Int64.sub r v) (Int64.sub Int64.max_int bound) > 0 then draw () else v
+  in
+  draw ()
+
+let float g =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) in
+  r *. 0x1p-53
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let bernoulli g p = float g < p
+
+let bytes g n =
+  let b = Bytes.create n in
+  let i = ref 0 in
+  while !i < n do
+    let word = ref (next_int64 g) in
+    let stop = min n (!i + 8) in
+    while !i < stop do
+      Bytes.set b !i (Char.chr (Int64.to_int (Int64.logand !word 0xFFL)));
+      word := Int64.shift_right_logical !word 8;
+      incr i
+    done
+  done;
+  b
+
+let shuffle g arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let shuffle_list g l =
+  let arr = Array.of_list l in
+  shuffle g arr;
+  Array.to_list arr
+
+let pick g arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int g (Array.length arr))
+
+let sample_without_replacement g k arr =
+  let n = Array.length arr in
+  if k > n then invalid_arg "Prng.sample_without_replacement: k > length";
+  let copy = Array.copy arr in
+  (* Partial Fisher–Yates: the first k slots end up a uniform sample. *)
+  for i = 0 to k - 1 do
+    let j = i + int g (n - i) in
+    let tmp = copy.(i) in
+    copy.(i) <- copy.(j);
+    copy.(j) <- tmp
+  done;
+  Array.sub copy 0 k
+
+let exponential g lambda =
+  if lambda <= 0. then invalid_arg "Prng.exponential: lambda must be positive";
+  -. log (1. -. float g) /. lambda

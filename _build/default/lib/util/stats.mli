@@ -1,0 +1,38 @@
+(** Small statistics helpers used by benchmarks and reports. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 for singletons. *)
+
+val stddev : float array -> float
+
+val median : float array -> float
+(** Median (average of middle pair for even lengths). Does not modify
+    its argument. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in \[0,100\], nearest-rank with linear
+    interpolation. *)
+
+val min_max : float array -> float * float
+
+val sum : float array -> float
+
+val histogram : bins:int -> float array -> (float * int) array
+(** [histogram ~bins xs] returns [(left_edge, count)] pairs covering
+    the data range with [bins] equal-width bins. *)
+
+module Welford : sig
+  (** Streaming mean/variance accumulator. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+end

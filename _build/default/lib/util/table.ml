@@ -1,0 +1,91 @@
+type align = Left | Right | Center
+
+type line = Row of string list | Separator
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable lines : line list; (* reversed *)
+  arity : int;
+}
+
+let create ?aligns headers =
+  let arity = List.length headers in
+  let aligns =
+    match aligns with
+    | None -> List.init arity (fun _ -> Left)
+    | Some a ->
+        if List.length a <> arity then
+          invalid_arg "Table.create: aligns arity mismatch";
+        a
+  in
+  { headers; aligns; lines = []; arity }
+
+let add_row t row =
+  if List.length row <> t.arity then invalid_arg "Table.add_row: arity mismatch";
+  t.lines <- Row row :: t.lines
+
+let add_separator t = t.lines <- Separator :: t.lines
+
+let pad align width s =
+  let len = String.length s in
+  if len >= width then s
+  else
+    let fill = width - len in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+        let left = fill / 2 in
+        String.make left ' ' ^ s ^ String.make (fill - left) ' '
+
+let render t =
+  let lines = List.rev t.lines in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  List.iter
+    (function
+      | Separator -> ()
+      | Row cells ->
+          List.iteri
+            (fun i c -> widths.(i) <- max widths.(i) (String.length c))
+            cells)
+    lines;
+  let rule =
+    "+"
+    ^ String.concat "+"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  let render_row cells =
+    let padded =
+      List.mapi
+        (fun i c ->
+          let align = List.nth t.aligns i in
+          " " ^ pad align widths.(i) c ^ " ")
+        cells
+    in
+    "|" ^ String.concat "|" padded ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_row t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  List.iter
+    (fun line ->
+      Buffer.add_char buf '\n';
+      match line with
+      | Separator -> Buffer.add_string buf rule
+      | Row cells -> Buffer.add_string buf (render_row cells))
+    lines;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+let print t = print_endline (render t)
+
+let of_rows headers rows =
+  let t = create headers in
+  List.iter (add_row t) rows;
+  render t

@@ -1,0 +1,26 @@
+(** Plain-text table rendering for auditing reports and benchmark
+    output (paper-style rows). *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] starts a table. [aligns] defaults to [Left] for
+    every column; when given it must have one entry per header. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row; raises [Invalid_argument] if the arity differs from
+    the header. *)
+
+val add_separator : t -> unit
+(** Inserts a horizontal rule between the rows added before and after. *)
+
+val render : t -> string
+(** Renders with box-drawing in ASCII ([+-|]). *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout followed by a newline. *)
+
+val of_rows : string list -> string list list -> string
+(** One-shot: [of_rows headers rows] builds and renders. *)

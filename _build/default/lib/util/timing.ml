@@ -1,0 +1,23 @@
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let time_only f = snd (time f)
+
+let format_seconds s =
+  if s < 1e-3 then Printf.sprintf "%.0fus" (s *. 1e6)
+  else if s < 1. then Printf.sprintf "%.1fms" (s *. 1e3)
+  else if s < 60. then Printf.sprintf "%.2fs" s
+  else
+    let minutes = int_of_float (s /. 60.) in
+    let rest = s -. (float_of_int minutes *. 60.) in
+    Printf.sprintf "%dm%02.0fs" minutes rest
+
+let format_bytes n =
+  let f = float_of_int n in
+  if n < 1024 then Printf.sprintf "%dB" n
+  else if f < 1024. *. 1024. then Printf.sprintf "%.1fKB" (f /. 1024.)
+  else if f < 1024. *. 1024. *. 1024. then
+    Printf.sprintf "%.2fMB" (f /. (1024. *. 1024.))
+  else Printf.sprintf "%.2fGB" (f /. (1024. *. 1024. *. 1024.))

@@ -1,0 +1,15 @@
+(** Wall-clock timing helpers for the benchmark harness. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns the result together with the
+    elapsed wall-clock seconds. *)
+
+val time_only : (unit -> 'a) -> float
+(** [time_only f] is [snd (time f)]. *)
+
+val format_seconds : float -> string
+(** Human-readable duration: ["735us"], ["12.3ms"], ["4.56s"],
+    ["3m12s"]. *)
+
+val format_bytes : int -> string
+(** Human-readable byte count: ["512B"], ["13.2KB"], ["4.7MB"]. *)

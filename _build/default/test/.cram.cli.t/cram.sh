@@ -1,0 +1,30 @@
+  $ cat > deps.xml <<'XML'
+  > <src="S1" dst="Internet" route="ToR1,Core1"/>
+  > <src="S1" dst="Internet" route="ToR1,Core2"/>
+  > <src="S2" dst="Internet" route="ToR1,Core1"/>
+  > <src="S2" dst="Internet" route="ToR1,Core2"/>
+  > <hw="S1" type="Disk" dep="S1-disk"/>
+  > <hw="S2" type="Disk" dep="S2-disk"/>
+  > <pgm="Riak1" hw="S1" dep="libc6"/>
+  > <pgm="Riak2" hw="S2" dep="libc6"/>
+  > XML
+  $ indaas sia --db deps.xml --servers S1,S2
+  $ indaas sia --db deps.xml --servers S1,S2 --prob 0.1 | grep "Pr(deployment fails)"
+  $ indaas topo -k 48
+  $ printf 'libssl\nlibc6\nnginx\n' > a.txt
+  $ printf 'libssl\nlibc6\npostgres\nredis\n' > b.txt
+  $ indaas pia --provider CloudA=a.txt --provider CloudB=b.txt --protocol clear
+  $ indaas pia --provider CloudA=a.txt --provider CloudB=b.txt --protocol psop | grep 0.4000
+  $ indaas dot --db deps.xml --servers S1,S2 | head -2
+  $ indaas case hardware
+  $ cat > flat.xml <<'XML'
+  > <src="S1" dst="I" route="swA"/>
+  > <src="S2" dst="I" route="swA"/>
+  > <src="S3" dst="I" route="swB"/>
+  > XML
+  $ indaas compare --db flat.xml S1,S2 S1,S3
+  $ indaas gen -k 4 | head -3
+  $ printf 'x\ny\nc1\nc2\n' > c.txt
+  $ indaas pia --provider CloudA=a.txt --provider CloudB=b.txt --provider CloudC=c.txt --way 3 --nofm 2 --protocol clear
+  $ indaas compare --db flat.xml S1,S3 --json
+  $ indaas importance --db flat.xml --servers S1,S3 --prob 0.1

@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Array Indaas_bignum Indaas_util Int64 List QCheck QCheck_alcotest

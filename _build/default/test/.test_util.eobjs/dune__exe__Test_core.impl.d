@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Astring Indaas Indaas_depdata Indaas_iaas Indaas_pia Indaas_sia Indaas_util Lazy List String

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Indaas_bignum Indaas_crypto Indaas_util Int64 Lazy List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_depdata.ml: Alcotest Array Indaas_depdata Indaas_util List QCheck QCheck_alcotest Set String

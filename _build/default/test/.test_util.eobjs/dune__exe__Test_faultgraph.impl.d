@@ -1,0 +1,1 @@
+test/test_faultgraph.ml: Alcotest Array Astring Hashtbl Indaas_faultgraph Indaas_util Int List Option Printf QCheck QCheck_alcotest Set String

@@ -1,0 +1,1 @@
+test/test_iaas.ml: Alcotest Indaas_depdata Indaas_iaas Indaas_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pia.ml: Alcotest Array Astring Hashtbl Indaas_bignum Indaas_crypto Indaas_depdata Indaas_pia Indaas_util Lazy List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sia.ml: Alcotest Array Astring Indaas_depdata Indaas_faultgraph Indaas_sia Indaas_util List Option String

@@ -1,0 +1,1 @@
+test/test_smpc.ml: Alcotest Indaas_smpc Indaas_util List Printf QCheck QCheck_alcotest

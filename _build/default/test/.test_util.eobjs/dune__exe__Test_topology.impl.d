@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Indaas_depdata Indaas_topology Indaas_util List QCheck QCheck_alcotest String

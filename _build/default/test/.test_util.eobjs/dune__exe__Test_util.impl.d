@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Astring Bytes Float Fun Gen Indaas_util Int64 List QCheck QCheck_alcotest String

@@ -1,0 +1,158 @@
+The indaas CLI end-to-end. First, a dependency database in the paper's
+Table 1 wire format (the Figure 2 storage system):
+
+  $ cat > deps.xml <<'XML'
+  > <src="S1" dst="Internet" route="ToR1,Core1"/>
+  > <src="S1" dst="Internet" route="ToR1,Core2"/>
+  > <src="S2" dst="Internet" route="ToR1,Core1"/>
+  > <src="S2" dst="Internet" route="ToR1,Core2"/>
+  > <hw="S1" type="Disk" dep="S1-disk"/>
+  > <hw="S2" type="Disk" dep="S2-disk"/>
+  > <pgm="Riak1" hw="S1" dep="libc6"/>
+  > <pgm="Riak2" hw="S2" dep="libc6"/>
+  > XML
+
+A structural audit of the {S1, S2} deployment flags the shared ToR
+switch and libc6 and exits 2:
+
+  $ indaas sia --db deps.xml --servers S1,S2
+  Deployment: {S1, S2}
+    fault graph: fault graph: 21 nodes (6 basic, 15 gates), top=deployment(AND)
+    risk groups: 4 (expected minimal size 2)
+    unexpected RGs: 2
+    independence score: 6
+  +------+--------------------+------+-------+------------+
+  | rank | risk group         | size | Pr(C) | importance |
+  +------+--------------------+------+-------+------------+
+  |    1 | {ToR1}             |    1 |     - |          - |
+  |    2 | {libc6}            |    1 |     - |          - |
+  |    3 | {Core1, Core2}     |    2 |     - |          - |
+  |    4 | {S1-disk, S2-disk} |    2 |     - |          - |
+  +------+--------------------+------+-------+------------+
+  
+  WARNING: 2 unexpected risk group(s) — redundancy is undermined.
+  [2]
+
+Probability-based ranking with a uniform device failure probability:
+
+  $ indaas sia --db deps.xml --servers S1,S2 --prob 0.1 | grep "Pr(deployment fails)"
+    Pr(deployment fails): 0.206119
+
+The fat-tree generator reproduces the paper's Table 3 row for k=48:
+
+  $ indaas topo -k 48
+  +-----------------+-------+
+  | parameter       | value |
+  +-----------------+-------+
+  | # switch ports  |    48 |
+  | # core routers  |   576 |
+  | # agg switches  |  1152 |
+  | # ToR switches  |  1152 |
+  | # servers       | 27648 |
+  | Total # devices | 30528 |
+  +-----------------+-------+
+
+Private auditing across two providers' component lists:
+
+  $ printf 'libssl\nlibc6\nnginx\n' > a.txt
+  $ printf 'libssl\nlibc6\npostgres\nredis\n' > b.txt
+  $ indaas pia --provider CloudA=a.txt --provider CloudB=b.txt --protocol clear
+  +------+-----------------------------+---------+-------------+
+  | Rank | 2-Way Redundancy Deployment | Jaccard | correlated? |
+  +------+-----------------------------+---------+-------------+
+  |    1 | CloudA & CloudB             |  0.4000 |          no |
+  +------+-----------------------------+---------+-------------+
+
+The same pair through the private P-SOP protocol gives the same answer
+without revealing the lists:
+
+  $ indaas pia --provider CloudA=a.txt --provider CloudB=b.txt --protocol psop | grep 0.4000
+  |    1 | CloudA & CloudB             |  0.4000 |          no |
+
+Fault-graph export for graphviz:
+
+  $ indaas dot --db deps.xml --servers S1,S2 | head -2
+  digraph fault_graph {
+    rankdir=BT;
+
+The hardware case study from the paper (§6.2.2):
+
+  $ indaas case hardware
+  co-located=true recommended={Server2, Server3} fixed=true
+  top4:
+    1. {Server4}
+    2. {Switch2}
+    3. {Core1, Core2}
+    4. {VM7, VM8}
+
+Comparing candidate deployments ranks the independent pair first:
+
+  $ cat > flat.xml <<'XML'
+  > <src="S1" dst="I" route="swA"/>
+  > <src="S2" dst="I" route="swA"/>
+  > <src="S3" dst="I" route="swB"/>
+  > XML
+  $ indaas compare --db flat.xml S1,S2 S1,S3
+  +------+------------+------+-------------+-------+----------+
+  | rank | deployment | #RGs | #unexpected | score | Pr(fail) |
+  +------+------------+------+-------------+-------+----------+
+  |    1 | {S1, S3}   |    1 |           0 |     2 |        - |
+  |    2 | {S1, S2}   |    1 |           1 |     1 |        - |
+  +------+------------+------+-------------+-------+----------+
+
+Generating a fat-tree dependency database:
+
+  $ indaas gen -k 4 | head -3
+  <src="server0" dst="Internet" route="tor0,agg0,core0"/>
+  <src="server0" dst="Internet" route="tor0,agg0,core1"/>
+  <src="server0" dst="Internet" route="tor0,agg1,core2"/>
+
+n-of-m auditing: require 2 live providers out of each 3-provider group
+(section 4.2.5) — the worst 2-quorum drives the ranking:
+
+  $ printf 'x\ny\nc1\nc2\n' > c.txt
+  $ indaas pia --provider CloudA=a.txt --provider CloudB=b.txt --provider CloudC=c.txt --way 3 --nofm 2 --protocol clear
+  +------+--------------------------+----------+-----------------+-----------+
+  | Rank | Deployment (m providers) | J(all m) | worst 2-quorum  | J(quorum) |
+  +------+--------------------------+----------+-----------------+-----------+
+  |    1 | CloudA & CloudB & CloudC |   0.0000 | CloudA & CloudB |    0.4000 |
+  +------+--------------------------+----------+-----------------+-----------+
+
+Machine-readable output:
+
+  $ indaas compare --db flat.xml S1,S3 --json
+  [
+    {
+      "servers": [
+        "S1",
+        "S3"
+      ],
+      "expected_rg_size": 2,
+      "risk_groups": [
+        {
+          "components": [
+            "swA",
+            "swB"
+          ],
+          "size": 2,
+          "probability": null,
+          "importance": null
+        }
+      ],
+      "unexpected": [],
+      "independence_score": 2.0,
+      "failure_probability": null
+    }
+  ]
+
+Component importance (exact BDD probabilities):
+
+  $ indaas importance --db flat.xml --servers S1,S3 --prob 0.1
+  Pr(deployment fails) = 0.01 (exact, BDD)
+  
+  +------+-----------+----------+----------------+
+  | rank | component | Birnbaum | Fussell-Vesely |
+  +------+-----------+----------+----------------+
+  |    1 | swA       |      0.1 |              1 |
+  |    2 | swB       |      0.1 |              1 |
+  +------+-----------+----------+----------------+

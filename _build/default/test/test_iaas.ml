@@ -1,0 +1,176 @@
+module Cloud = Indaas_iaas.Cloud
+module Dependency = Indaas_depdata.Dependency
+module Prng = Indaas_util.Prng
+
+let check = Alcotest.check
+
+let test_boot_least_loaded () =
+  let cloud = Cloud.create ~servers:[ "A"; "B" ] (Prng.of_int 1) in
+  let h1 = Cloud.boot_vm cloud ~name:"vm1" ~group:"g" in
+  let h2 = Cloud.boot_vm cloud ~name:"vm2" ~group:"g" in
+  (* sequential least-loaded placement never co-locates while empty
+     servers remain *)
+  check Alcotest.bool "spread" true (h1 <> h2)
+
+let test_boot_duplicate_rejected () =
+  let cloud = Cloud.create ~servers:Cloud.lab_servers (Prng.of_int 1) in
+  ignore (Cloud.boot_vm cloud ~name:"vm1" ~group:"g");
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Cloud.boot_vm: VM \"vm1\" already exists") (fun () ->
+      ignore (Cloud.boot_vm cloud ~name:"vm1" ~group:"g"))
+
+let test_host_of_and_vms_on () =
+  let cloud = Cloud.create ~servers:[ "A" ] (Prng.of_int 1) in
+  ignore (Cloud.boot_vm cloud ~name:"vm1" ~group:"g");
+  ignore (Cloud.boot_vm cloud ~name:"vm2" ~group:"g");
+  check (Alcotest.option Alcotest.string) "host" (Some "A") (Cloud.host_of cloud "vm1");
+  check (Alcotest.option Alcotest.string) "unknown" None (Cloud.host_of cloud "nope");
+  check (Alcotest.list Alcotest.string) "vms on A" [ "vm1"; "vm2" ]
+    (Cloud.vms_on cloud "A");
+  check (Alcotest.list Alcotest.string) "boot order" [ "vm1"; "vm2" ]
+    (List.sort compare (Cloud.vm_names cloud))
+
+let test_sequential_never_colocates_on_empty () =
+  (* With 4 servers and 4 VMs, sequential least-loaded fills all
+     servers exactly once, for any seed. *)
+  for seed = 0 to 30 do
+    let cloud = Cloud.create ~servers:Cloud.lab_servers (Prng.of_int seed) in
+    let hosts =
+      List.init 4 (fun i ->
+          Cloud.boot_vm cloud ~name:(Printf.sprintf "vm%d" i) ~group:"g")
+    in
+    check Alcotest.int
+      (Printf.sprintf "seed %d all distinct" seed)
+      4
+      (List.length (List.sort_uniq compare hosts))
+  done
+
+let test_concurrent_race_can_colocate () =
+  (* The §6.2.2 race: placements computed against one snapshot can
+     land on the same server. Across seeds this must happen sometimes
+     (and not always). *)
+  let colocated = ref 0 in
+  let trials = 200 in
+  for seed = 0 to trials - 1 do
+    let cloud = Cloud.create ~servers:Cloud.lab_servers (Prng.of_int seed) in
+    for i = 1 to 6 do
+      ignore (Cloud.boot_vm cloud ~name:(Printf.sprintf "bg%d" i) ~group:"misc")
+    done;
+    match Cloud.boot_vms_concurrently cloud [ ("vm7", "riak"); ("vm8", "riak") ] with
+    | [ (_, h7); (_, h8) ] -> if h7 = h8 then incr colocated
+    | _ -> Alcotest.fail "two placements expected"
+  done;
+  check Alcotest.bool "race fires sometimes" true (!colocated > 10);
+  check Alcotest.bool "race does not always fire" true (!colocated < trials - 10)
+
+let test_concurrent_anti_affinity_never_colocates () =
+  for seed = 0 to 50 do
+    let cloud =
+      Cloud.create ~policy:Cloud.Anti_affinity ~servers:Cloud.lab_servers
+        (Prng.of_int seed)
+    in
+    for i = 1 to 6 do
+      ignore (Cloud.boot_vm cloud ~name:(Printf.sprintf "bg%d" i) ~group:"misc")
+    done;
+    match Cloud.boot_vms_concurrently cloud [ ("vm7", "riak"); ("vm8", "riak") ] with
+    | [ (_, h7); (_, h8) ] ->
+        check Alcotest.bool (Printf.sprintf "seed %d spread" seed) true (h7 <> h8)
+    | _ -> Alcotest.fail "two placements expected"
+  done
+
+let test_anti_affinity_sequential () =
+  let cloud =
+    Cloud.create ~policy:Cloud.Anti_affinity ~servers:[ "A"; "B" ] (Prng.of_int 3)
+  in
+  let h1 = Cloud.boot_vm cloud ~name:"r1" ~group:"riak" in
+  let h2 = Cloud.boot_vm cloud ~name:"r2" ~group:"riak" in
+  check Alcotest.bool "different hosts" true (h1 <> h2);
+  (* a third VM of the group must go somewhere (fallback) *)
+  let h3 = Cloud.boot_vm cloud ~name:"r3" ~group:"riak" in
+  check Alcotest.bool "fallback placed" true (h3 = "A" || h3 = "B")
+
+let test_pinned_policy () =
+  let cloud =
+    Cloud.create
+      ~policy:(Cloud.Pinned [ ("vm1", "Server3") ])
+      ~servers:Cloud.lab_servers (Prng.of_int 5)
+  in
+  check Alcotest.string "pinned" "Server3" (Cloud.boot_vm cloud ~name:"vm1" ~group:"g");
+  (* unlisted VM falls back to least-loaded *)
+  let h = Cloud.boot_vm cloud ~name:"vm2" ~group:"g" in
+  check Alcotest.bool "fallback avoids loaded" true (h <> "Server3")
+
+let test_pinned_unknown_server () =
+  let cloud =
+    Cloud.create ~policy:(Cloud.Pinned [ ("vm1", "nope") ]) ~servers:[ "A" ]
+      (Prng.of_int 5)
+  in
+  Alcotest.check_raises "unknown server"
+    (Invalid_argument "Cloud.boot_vm: unknown server \"nope\"") (fun () ->
+      ignore (Cloud.boot_vm cloud ~name:"vm1" ~group:"g"))
+
+let test_migrate () =
+  let cloud = Cloud.create ~servers:[ "A"; "B" ] (Prng.of_int 6) in
+  ignore (Cloud.boot_vm cloud ~name:"vm1" ~group:"g");
+  Cloud.migrate cloud ~vm:"vm1" ~to_server:"B";
+  check (Alcotest.option Alcotest.string) "migrated" (Some "B")
+    (Cloud.host_of cloud "vm1");
+  Alcotest.check_raises "unknown vm"
+    (Invalid_argument "Cloud.migrate: unknown VM \"ghost\"") (fun () ->
+      Cloud.migrate cloud ~vm:"ghost" ~to_server:"A");
+  Alcotest.check_raises "unknown server"
+    (Invalid_argument "Cloud.migrate: unknown server \"Z\"") (fun () ->
+      Cloud.migrate cloud ~vm:"vm1" ~to_server:"Z")
+
+let test_hardware_records () =
+  let cloud = Cloud.create ~servers:[ "A" ] (Prng.of_int 7) in
+  ignore (Cloud.boot_vm cloud ~name:"vm1" ~group:"g");
+  match Cloud.hardware_records cloud with
+  | [ Dependency.Hardware h ] ->
+      check Alcotest.string "vm" "vm1" h.Dependency.hw;
+      check Alcotest.string "host as component" "A" h.Dependency.dep;
+      check Alcotest.string "type" "HostServer" h.Dependency.hw_type
+  | _ -> Alcotest.fail "one hardware record expected"
+
+let test_create_no_servers () =
+  Alcotest.check_raises "no servers" (Invalid_argument "Cloud.create: no servers")
+    (fun () -> ignore (Cloud.create ~servers:[] (Prng.of_int 1)))
+
+let prop_placement_balanced =
+  QCheck.Test.make ~name:"least-loaded keeps load within 1" ~count:100
+    QCheck.(pair small_int (int_range 1 20))
+    (fun (seed, vms) ->
+      let servers = [ "A"; "B"; "C" ] in
+      let cloud = Cloud.create ~servers (Prng.of_int seed) in
+      for i = 1 to vms do
+        ignore (Cloud.boot_vm cloud ~name:(string_of_int i) ~group:"g")
+      done;
+      let loads = List.map (fun s -> List.length (Cloud.vms_on cloud s)) servers in
+      let lo = List.fold_left min max_int loads in
+      let hi = List.fold_left max 0 loads in
+      hi - lo <= 1)
+
+let () =
+  Alcotest.run "iaas"
+    [
+      ( "cloud",
+        [
+          Alcotest.test_case "least-loaded boot" `Quick test_boot_least_loaded;
+          Alcotest.test_case "duplicate rejected" `Quick test_boot_duplicate_rejected;
+          Alcotest.test_case "host_of / vms_on" `Quick test_host_of_and_vms_on;
+          Alcotest.test_case "sequential spreads" `Quick
+            test_sequential_never_colocates_on_empty;
+          Alcotest.test_case "concurrent race co-locates" `Quick
+            test_concurrent_race_can_colocate;
+          Alcotest.test_case "anti-affinity race-free" `Quick
+            test_concurrent_anti_affinity_never_colocates;
+          Alcotest.test_case "anti-affinity sequential" `Quick
+            test_anti_affinity_sequential;
+          Alcotest.test_case "pinned policy" `Quick test_pinned_policy;
+          Alcotest.test_case "pinned unknown server" `Quick test_pinned_unknown_server;
+          Alcotest.test_case "migrate" `Quick test_migrate;
+          Alcotest.test_case "hardware records" `Quick test_hardware_records;
+          Alcotest.test_case "create validation" `Quick test_create_no_servers;
+          QCheck_alcotest.to_alcotest prop_placement_balanced;
+        ] );
+    ]

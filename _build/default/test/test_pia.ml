@@ -1,0 +1,849 @@
+module Componentset = Indaas_pia.Componentset
+module Jaccard = Indaas_pia.Jaccard
+module Minhash = Indaas_pia.Minhash
+module Transport = Indaas_pia.Transport
+module Polynomial = Indaas_pia.Polynomial
+module Psop = Indaas_pia.Psop
+module Ks = Indaas_pia.Ks
+module Audit = Indaas_pia.Audit
+module Catalog = Indaas_depdata.Catalog
+module Commutative = Indaas_crypto.Commutative
+module Nat = Indaas_bignum.Nat
+module Prng = Indaas_util.Prng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let nat = Alcotest.testable Nat.pp Nat.equal
+
+let shared_params =
+  lazy (Commutative.params_pohlig_hellman ~bits:128 (Prng.of_int 987))
+
+(* --- Componentset ------------------------------------------------------ *)
+
+let test_set_ops () =
+  let a = Componentset.of_list [ "x"; "y"; "x" ] in
+  check Alcotest.int "dedup" 2 (Componentset.cardinal a);
+  check (Alcotest.list Alcotest.string) "sorted" [ "x"; "y" ] (Componentset.to_list a);
+  let b = Componentset.of_list [ "y"; "z" ] in
+  check Alcotest.int "union" 3 (Componentset.cardinal (Componentset.union a b));
+  check Alcotest.int "inter" 1 (Componentset.cardinal (Componentset.inter a b));
+  check Alcotest.bool "mem" true (Componentset.mem "x" a);
+  check Alcotest.int "union_many" 3
+    (Componentset.cardinal (Componentset.union_many [ a; b; Componentset.empty ]))
+
+let test_inter_many_empty () =
+  Alcotest.check_raises "empty list"
+    (Invalid_argument "Componentset.inter_many: empty list") (fun () ->
+      ignore (Componentset.inter_many []))
+
+let test_normalize_router () =
+  check Alcotest.string "ok" "router:10.0.0.1"
+    (Componentset.normalize_router ~ip:"10.0.0.1");
+  List.iter
+    (fun bad ->
+      check Alcotest.bool bad true
+        (try
+           ignore (Componentset.normalize_router ~ip:bad);
+           false
+         with Invalid_argument _ -> true))
+    [ "10.0.0"; "10.0.0.256"; "a.b.c.d"; "10..0.1"; "1.2.3.4.5" ]
+
+let test_normalize_package () =
+  check Alcotest.string "lowercase" "pkg:openssl=1.0.1"
+    (Componentset.normalize_package ~name:"OpenSSL" ~version:"1.0.1")
+
+let test_multiset_elements () =
+  check (Alcotest.list Alcotest.string) "disambiguation"
+    [ "a#1"; "b#1"; "a#2"; "a#3" ]
+    (Componentset.multiset_elements [ "a"; "b"; "a"; "a" ])
+
+let test_of_depdb () =
+  let db = Indaas_depdata.Depdb.create () in
+  Indaas_depdata.Depdb.add db
+    (Indaas_depdata.Dependency.software ~pgm:"P" ~host:"M" ~deps:[ "p1"; "p2" ]);
+  let s = Componentset.of_depdb db ~machine:"M" in
+  check (Alcotest.list Alcotest.string) "components" [ "p1"; "p2" ]
+    (Componentset.to_list s)
+
+(* --- Jaccard ------------------------------------------------------------ *)
+
+let test_jaccard_known () =
+  let a = Componentset.of_list [ "1"; "2"; "3" ] in
+  let b = Componentset.of_list [ "2"; "3"; "4" ] in
+  check (Alcotest.float 1e-12) "2/4" 0.5 (Jaccard.pairwise a b);
+  check (Alcotest.float 1e-12) "identical" 1. (Jaccard.pairwise a a);
+  check (Alcotest.float 1e-12) "disjoint" 0.
+    (Jaccard.pairwise a (Componentset.of_list [ "9" ]));
+  check (Alcotest.float 1e-12) "empty sets" 0.
+    (Jaccard.pairwise Componentset.empty Componentset.empty)
+
+let test_jaccard_multi () =
+  let sets =
+    [
+      Componentset.of_list [ "a"; "b"; "c" ];
+      Componentset.of_list [ "b"; "c"; "d" ];
+      Componentset.of_list [ "c"; "b"; "e" ];
+    ]
+  in
+  (* inter {b,c} = 2, union {a,b,c,d,e} = 5 *)
+  check (Alcotest.float 1e-12) "3-way" 0.4 (Jaccard.similarity sets)
+
+let test_of_cardinalities_validation () =
+  Alcotest.check_raises "inconsistent"
+    (Invalid_argument "Jaccard.of_cardinalities: inconsistent cardinalities")
+    (fun () -> ignore (Jaccard.of_cardinalities ~intersection:5 ~union:3))
+
+let test_sorensen_dice () =
+  let a = Componentset.of_list [ "1"; "2"; "3" ] in
+  let b = Componentset.of_list [ "2"; "3"; "4" ] in
+  (* D = 2*2/(3+3) = 2/3; J = 1/2; D = 2J/(1+J) *)
+  check (Alcotest.float 1e-12) "known" (2. /. 3.) (Jaccard.sorensen_dice a b);
+  let j = Jaccard.pairwise a b in
+  check (Alcotest.float 1e-12) "D = 2J/(1+J)" (2. *. j /. (1. +. j))
+    (Jaccard.sorensen_dice a b);
+  check (Alcotest.float 1e-12) "empty" 0.
+    (Jaccard.sorensen_dice Componentset.empty Componentset.empty);
+  check (Alcotest.float 1e-12) "identical" 1. (Jaccard.sorensen_dice a a)
+
+let test_correlated_threshold () =
+  check Alcotest.bool "0.75" true (Jaccard.significantly_correlated 0.75);
+  check Alcotest.bool "0.74" false (Jaccard.significantly_correlated 0.74)
+
+(* --- MinHash ------------------------------------------------------------ *)
+
+let test_minhash_identical_sets () =
+  let s = Componentset.of_list (List.init 50 string_of_int) in
+  check (Alcotest.float 1e-12) "J(s,s) = 1" 1. (Minhash.estimate_jaccard ~m:64 [ s; s ])
+
+let test_minhash_disjoint_sets () =
+  let a = Componentset.of_list (List.init 50 (Printf.sprintf "a%d")) in
+  let b = Componentset.of_list (List.init 50 (Printf.sprintf "b%d")) in
+  check Alcotest.bool "near 0" true (Minhash.estimate_jaccard ~m:128 [ a; b ] < 0.05)
+
+let test_minhash_accuracy () =
+  (* J = 1/3 by construction (50 shared / 150 union). *)
+  let shared = List.init 50 (Printf.sprintf "s%d") in
+  let a = Componentset.of_list (shared @ List.init 50 (Printf.sprintf "a%d")) in
+  let b = Componentset.of_list (shared @ List.init 50 (Printf.sprintf "b%d")) in
+  let estimate = Minhash.estimate_jaccard ~m:512 [ a; b ] in
+  check Alcotest.bool "within 3 std errors" true
+    (abs_float (estimate -. (1. /. 3.)) < 3. *. Minhash.expected_error ~m:512)
+
+let test_minhash_more_hashes_tighter () =
+  check Alcotest.bool "error shrinks" true
+    (Minhash.expected_error ~m:400 < Minhash.expected_error ~m:100)
+
+let test_signature_elements_positional () =
+  let s = Componentset.of_list [ "x"; "y" ] in
+  let elems = Minhash.signature_elements ~m:8 s in
+  check Alcotest.int "m elements" 8 (List.length elems);
+  List.iteri
+    (fun i e ->
+      check Alcotest.bool "position prefix" true
+        (Astring.String.is_prefix ~affix:(string_of_int i ^ ":") e))
+    elems
+
+let test_minhash_validation () =
+  Alcotest.check_raises "empty set" (Invalid_argument "Minhash.signature: empty set")
+    (fun () -> ignore (Minhash.signature ~m:4 Componentset.empty));
+  Alcotest.check_raises "m=0" (Invalid_argument "Minhash.signature: m must be positive")
+    (fun () -> ignore (Minhash.signature ~m:0 (Componentset.of_list [ "x" ])));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Minhash.estimate: signature length mismatch") (fun () ->
+      ignore (Minhash.estimate [ [| 1L |]; [| 1L; 2L |] ]))
+
+(* --- Transport ----------------------------------------------------------- *)
+
+let test_transport_accounting () =
+  let t = Transport.create ~parties:3 in
+  Transport.send t ~src:0 ~dst:1 100;
+  Transport.send t ~src:1 ~dst:2 50;
+  Transport.broadcast t ~src:2 10;
+  check Alcotest.int "messages" 4 (Transport.messages t);
+  check Alcotest.int "sent by 0" 100 (Transport.bytes_sent_by t 0);
+  check Alcotest.int "sent by 2" 20 (Transport.bytes_sent_by t 2);
+  check Alcotest.int "received by 1" 110 (Transport.bytes_received_by t 1);
+  check Alcotest.int "total" 170 (Transport.total_bytes t);
+  check Alcotest.int "max party" 100 (Transport.max_party_bytes t)
+
+let test_transport_validation () =
+  let t = Transport.create ~parties:2 in
+  Alcotest.check_raises "self-send" (Invalid_argument "Transport.send: src = dst")
+    (fun () -> Transport.send t ~src:0 ~dst:0 1);
+  Alcotest.check_raises "bad dst" (Invalid_argument "Transport.send: bad dst")
+    (fun () -> Transport.send t ~src:0 ~dst:5 1);
+  Alcotest.check_raises "negative" (Invalid_argument "Transport.send: negative size")
+    (fun () -> Transport.send t ~src:0 ~dst:1 (-1))
+
+(* --- Polynomial ------------------------------------------------------------ *)
+
+let m17 = Nat.of_int 17
+
+let test_poly_from_roots () =
+  (* (x-2)(x-3) = x^2 - 5x + 6 = x^2 + 12x + 6 mod 17 *)
+  let p = Polynomial.from_roots ~modulus:m17 [ Nat.of_int 2; Nat.of_int 3 ] in
+  check Alcotest.int "degree" 2 (Polynomial.degree p);
+  check Alcotest.bool "root 2" true (Polynomial.is_root p (Nat.of_int 2));
+  check Alcotest.bool "root 3" true (Polynomial.is_root p (Nat.of_int 3));
+  check Alcotest.bool "non-root 5" false (Polynomial.is_root p (Nat.of_int 5));
+  let coeffs = Polynomial.coefficients p in
+  check nat "constant term" (Nat.of_int 6) coeffs.(0);
+  check nat "linear term" (Nat.of_int 12) coeffs.(1)
+
+let test_poly_empty_roots () =
+  let p = Polynomial.from_roots ~modulus:m17 [] in
+  check Alcotest.int "degree 0" 0 (Polynomial.degree p);
+  check nat "eval = 1" Nat.one (Polynomial.eval p (Nat.of_int 9))
+
+let test_poly_add_mul () =
+  let p = Polynomial.of_coefficients ~modulus:m17 [| Nat.of_int 1; Nat.of_int 2 |] in
+  let q = Polynomial.of_coefficients ~modulus:m17 [| Nat.of_int 3 |] in
+  let s = Polynomial.add p q in
+  check nat "sum constant" (Nat.of_int 4) (Polynomial.coefficients s).(0);
+  let prod = Polynomial.mul p q in
+  check nat "product linear" (Nat.of_int 6) (Polynomial.coefficients prod).(1);
+  (* eval homomorphism *)
+  let x = Nat.of_int 7 in
+  check nat "eval(p*q) = eval p * eval q"
+    (Nat.rem (Nat.mul (Polynomial.eval p x) (Polynomial.eval q x)) m17)
+    (Polynomial.eval prod x)
+
+let test_poly_zero () =
+  let z = Polynomial.zero ~modulus:m17 in
+  check Alcotest.int "degree -1" (-1) (Polynomial.degree z);
+  check nat "eval 0" Nat.zero (Polynomial.eval z (Nat.of_int 5));
+  let p = Polynomial.of_coefficients ~modulus:m17 [| Nat.of_int 4 |] in
+  check Alcotest.bool "z + p = p" true (Polynomial.equal p (Polynomial.add z p));
+  check Alcotest.bool "z * p = z" true (Polynomial.equal z (Polynomial.mul z p))
+
+let test_poly_scale () =
+  let p = Polynomial.of_coefficients ~modulus:m17 [| Nat.of_int 5; Nat.of_int 6 |] in
+  let s = Polynomial.scale p (Nat.of_int 3) in
+  check nat "scaled" (Nat.of_int 15) (Polynomial.coefficients s).(0);
+  check nat "scaled high" (Nat.of_int 1) (Polynomial.coefficients s).(1)
+
+let test_poly_trim () =
+  let p = Polynomial.of_coefficients ~modulus:m17 [| Nat.of_int 1; Nat.of_int 17 |] in
+  check Alcotest.int "trailing zero trimmed" 0 (Polynomial.degree p)
+
+(* --- P-SOP ------------------------------------------------------------------ *)
+
+let test_psop_exact_cardinalities () =
+  let g = Prng.of_int 400 in
+  let params = Lazy.force shared_params in
+  let r = Psop.run ~params g [| [ "a"; "b"; "c" ]; [ "b"; "c"; "d" ] |] in
+  check Alcotest.int "intersection" 2 r.Psop.intersection;
+  check Alcotest.int "union" 4 r.Psop.union;
+  check (Alcotest.float 1e-12) "jaccard" 0.5 r.Psop.jaccard
+
+let test_psop_three_parties () =
+  let g = Prng.of_int 401 in
+  let params = Lazy.force shared_params in
+  let r =
+    Psop.run ~params g [| [ "a"; "b" ]; [ "b"; "c" ]; [ "b"; "d" ] |]
+  in
+  check Alcotest.int "intersection" 1 r.Psop.intersection;
+  check Alcotest.int "union" 4 r.Psop.union
+
+let test_psop_duplicates_as_multiset () =
+  let g = Prng.of_int 402 in
+  let params = Lazy.force shared_params in
+  (* "a" twice on both sides -> both copies match *)
+  let r = Psop.run ~params g [| [ "a"; "a" ]; [ "a"; "a"; "b" ] |] in
+  check Alcotest.int "multiset intersection" 2 r.Psop.intersection;
+  check Alcotest.int "multiset union" 3 r.Psop.union
+
+let test_psop_disjoint () =
+  let g = Prng.of_int 403 in
+  let params = Lazy.force shared_params in
+  let r = Psop.run ~params g [| [ "a" ]; [ "b" ] |] in
+  check Alcotest.int "intersection" 0 r.Psop.intersection;
+  check (Alcotest.float 1e-12) "jaccard 0" 0. r.Psop.jaccard
+
+let test_psop_single_party_rejected () =
+  let g = Prng.of_int 404 in
+  Alcotest.check_raises "one party"
+    (Invalid_argument "Psop.run: need at least two parties") (fun () ->
+      ignore (Psop.run ~params:(Lazy.force shared_params) g [| [ "a" ] |]))
+
+let test_psop_traffic_and_ops () =
+  let g = Prng.of_int 405 in
+  let params = Lazy.force shared_params in
+  let n = 10 in
+  let datasets = [| List.init n (Printf.sprintf "a%d"); List.init n (Printf.sprintf "b%d") |] in
+  let r = Psop.run ~params g datasets in
+  (* k parties, n elements each: k*n first-pass + (k-1)*k*n re-encryptions *)
+  check Alcotest.int "crypto ops" (2 * n * 2) r.Psop.crypto_ops;
+  let cbytes = Commutative.modulus_bytes params in
+  (* ring pass: k-1 hops x k batches... = 2 sends of n ciphertexts;
+     final: each holder broadcasts to 1 other: 2 sends *)
+  check Alcotest.int "total traffic" (4 * n * cbytes)
+    (Transport.total_bytes r.Psop.transport)
+
+let test_psop_md5_sra_variant () =
+  (* The paper's exact instantiation: MD5 + commutative RSA. *)
+  let g = Prng.of_int 406 in
+  let params = Commutative.params_sra ~bits:128 g in
+  let r =
+    Psop.run ~params ~hash:Indaas_crypto.Digest.MD5 g
+      [| [ "a"; "b"; "c" ]; [ "b"; "c"; "d" ] |]
+  in
+  check Alcotest.int "intersection" 2 r.Psop.intersection
+
+let test_psop_minhash () =
+  let g = Prng.of_int 407 in
+  let params = Lazy.force shared_params in
+  let shared = List.init 40 (Printf.sprintf "s%d") in
+  let a = shared @ List.init 40 (Printf.sprintf "a%d") in
+  let b = shared @ List.init 40 (Printf.sprintf "b%d") in
+  let r = Psop.run_minhash ~params ~m:128 g [| a; b |] in
+  check Alcotest.int "union reports m" 128 r.Psop.union;
+  (* true J = 40/120 = 1/3 *)
+  check Alcotest.bool "approximates" true (abs_float (r.Psop.jaccard -. (1. /. 3.)) < 0.15)
+
+let test_psop_matches_cleartext () =
+  let g = Prng.of_int 408 in
+  let params = Lazy.force shared_params in
+  let riak = Catalog.packages Catalog.Riak in
+  let mongo = Catalog.packages Catalog.MongoDB in
+  let r = Psop.run ~params g [| riak; mongo |] in
+  let exact =
+    Jaccard.pairwise (Componentset.of_list riak) (Componentset.of_list mongo)
+  in
+  check (Alcotest.float 1e-12) "private = cleartext" exact r.Psop.jaccard
+
+(* --- KS ---------------------------------------------------------------------- *)
+
+let test_ks_intersection () =
+  let g = Prng.of_int 500 in
+  let r = Ks.run ~key_bits:128 g [| [ "a"; "b"; "c" ]; [ "b"; "c"; "d" ] |] in
+  check Alcotest.int "intersection" 2 r.Ks.intersection
+
+let test_ks_three_parties () =
+  let g = Prng.of_int 501 in
+  let r = Ks.run ~key_bits:128 g [| [ "a"; "x" ]; [ "x"; "b" ]; [ "x"; "c" ] |] in
+  check Alcotest.int "intersection" 1 r.Ks.intersection
+
+let test_ks_disjoint_and_identical () =
+  let g = Prng.of_int 502 in
+  let r = Ks.run ~key_bits:128 g [| [ "a" ]; [ "b" ] |] in
+  check Alcotest.int "disjoint" 0 r.Ks.intersection;
+  let r2 = Ks.run ~key_bits:128 g [| [ "a"; "b" ]; [ "a"; "b" ] |] in
+  check Alcotest.int "identical" 2 r2.Ks.intersection
+
+let test_ks_matches_exact_reference () =
+  let g = Prng.of_int 503 in
+  let datasets = [| [ "p"; "q"; "r"; "s" ]; [ "q"; "s"; "t" ] |] in
+  check Alcotest.int "reference"
+    (Ks.intersection_cardinality_exact datasets)
+    (Ks.run ~key_bits:128 g datasets).Ks.intersection
+
+let test_ks_costlier_than_psop () =
+  (* The headline of Figure 8(b): KS burns far more crypto ops. *)
+  let n = 8 in
+  let datasets =
+    [| List.init n (Printf.sprintf "a%d"); List.init n (Printf.sprintf "b%d") |]
+  in
+  let gp = Prng.of_int 504 in
+  let psop = Psop.run ~params:(Lazy.force shared_params) gp datasets in
+  let gk = Prng.of_int 505 in
+  let ks = Ks.run ~key_bits:128 gk datasets in
+  check Alcotest.bool "KS ops exceed P-SOP ops" true
+    (ks.Ks.crypto_ops > 3 * psop.Psop.crypto_ops)
+
+(* --- PIA audit ----------------------------------------------------------------- *)
+
+let table2_providers () =
+  List.mapi
+    (fun i app ->
+      Audit.provider ~name:(Printf.sprintf "Cloud%d" (i + 1)) (Catalog.packages app))
+    Catalog.all_applications
+
+let test_audit_table2_two_way () =
+  let report = Audit.audit ~way:2 (table2_providers ()) in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "paper ranking"
+    [
+      [ "Cloud2"; "Cloud4" ]; [ "Cloud2"; "Cloud3" ]; [ "Cloud1"; "Cloud4" ];
+      [ "Cloud1"; "Cloud3" ]; [ "Cloud3"; "Cloud4" ]; [ "Cloud1"; "Cloud2" ];
+    ]
+    (List.map (fun r -> r.Audit.providers) report.Audit.results)
+
+let test_audit_table2_three_way () =
+  let report = Audit.audit ~way:3 (table2_providers ()) in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "paper ranking"
+    [
+      [ "Cloud2"; "Cloud3"; "Cloud4" ]; [ "Cloud1"; "Cloud2"; "Cloud4" ];
+      [ "Cloud1"; "Cloud3"; "Cloud4" ]; [ "Cloud1"; "Cloud2"; "Cloud3" ];
+    ]
+    (List.map (fun r -> r.Audit.providers) report.Audit.results)
+
+let test_audit_psop_equals_cleartext () =
+  let providers = table2_providers () in
+  let clear = Audit.audit ~protocol:Audit.Cleartext ~way:2 providers in
+  let psop =
+    Audit.audit
+      ~protocol:(Audit.Psop { params = Some (Lazy.force shared_params) })
+      ~way:2 providers
+  in
+  List.iter2
+    (fun a b ->
+      check (Alcotest.list Alcotest.string) "same order" a.Audit.providers
+        b.Audit.providers;
+      check (Alcotest.float 1e-12) "same jaccard" a.Audit.jaccard b.Audit.jaccard)
+    clear.Audit.results psop.Audit.results
+
+let test_audit_ks_two_way_matches () =
+  let providers =
+    [ Audit.provider ~name:"A" [ "x"; "y"; "z" ]; Audit.provider ~name:"B" [ "y"; "z"; "w" ] ]
+  in
+  let report = Audit.audit ~protocol:(Audit.Ks { key_bits = 128 }) ~way:2 providers in
+  let r = List.hd report.Audit.results in
+  check (Alcotest.float 1e-12) "jaccard via cardinalities" 0.5 r.Audit.jaccard
+
+let test_audit_validation () =
+  let providers = table2_providers () in
+  Alcotest.check_raises "way too small" (Invalid_argument "Audit.audit: way must be >= 2")
+    (fun () -> ignore (Audit.audit ~way:1 providers));
+  Alcotest.check_raises "way too large"
+    (Invalid_argument "Audit.audit: way exceeds provider count") (fun () ->
+      ignore (Audit.audit ~way:5 providers))
+
+let test_audit_render () =
+  let report = Audit.audit ~way:2 (table2_providers ()) in
+  let text = Audit.render report in
+  check Alcotest.bool "mentions deployment" true
+    (Astring.String.is_infix ~affix:"2-Way Redundancy Deployment" text);
+  check Alcotest.bool "mentions best" true
+    (Astring.String.is_infix ~affix:"Cloud2 & Cloud4" text)
+
+let test_audit_correlated_flag () =
+  let providers =
+    [ Audit.provider ~name:"A" [ "x"; "y"; "z"; "w" ]; Audit.provider ~name:"B" [ "x"; "y"; "z" ] ]
+  in
+  let report = Audit.audit ~way:2 providers in
+  check Alcotest.bool "flagged" true (List.hd report.Audit.results).Audit.correlated
+
+(* --- properties ------------------------------------------------------------------ *)
+
+let gen_sets =
+  QCheck.make
+    ~print:(fun (a, b) -> String.concat "," a ^ " | " ^ String.concat "," b)
+    QCheck.Gen.(
+      let elt = map (Printf.sprintf "e%d") (int_range 0 15) in
+      pair (list_size (int_range 1 10) elt) (list_size (int_range 1 10) elt))
+
+let prop_psop_matches_cleartext =
+  QCheck.Test.make ~name:"P-SOP = cleartext on random sets" ~count:25 gen_sets
+    (fun (a, b) ->
+      let g = Prng.of_int (Hashtbl.hash (a, b)) in
+      let r = Psop.run ~params:(Lazy.force shared_params) g [| a; b |] in
+      let sa = Componentset.of_list a and sb = Componentset.of_list b in
+      (* multiset semantics: compare against multiset counts *)
+      let count l = List.length (Componentset.multiset_elements l) in
+      ignore count;
+      let inter_low = Componentset.cardinal (Componentset.inter sa sb) in
+      r.Psop.intersection >= inter_low
+
+      && r.Psop.union >= Componentset.cardinal (Componentset.union sa sb))
+
+let prop_jaccard_bounds =
+  QCheck.Test.make ~name:"jaccard in [0,1]" ~count:200 gen_sets (fun (a, b) ->
+      let j =
+        Jaccard.pairwise (Componentset.of_list a) (Componentset.of_list b)
+      in
+      j >= 0. && j <= 1.)
+
+let prop_minhash_in_bounds =
+  QCheck.Test.make ~name:"minhash estimate in [0,1]" ~count:50 gen_sets
+    (fun (a, b) ->
+      let e =
+        Minhash.estimate_jaccard ~m:32
+          [ Componentset.of_list a; Componentset.of_list b ]
+      in
+      e >= 0. && e <= 1.)
+
+
+
+
+(* --- Bloom-filter PSI-CA -------------------------------------------------- *)
+
+module Bloompsi = Indaas_pia.Bloompsi
+
+let test_bloom_membership () =
+  let f = Bloompsi.Filter.create ~bits:1024 ~hashes:4 in
+  let members = List.init 50 (Printf.sprintf "member%d") in
+  List.iter (Bloompsi.Filter.add f) members;
+  List.iter
+    (fun e -> check Alcotest.bool e true (Bloompsi.Filter.mem f e))
+    members;
+  (* false positives possible but should be rare at this load *)
+  let fps =
+    List.init 200 (Printf.sprintf "absent%d")
+    |> List.filter (Bloompsi.Filter.mem f)
+    |> List.length
+  in
+  check Alcotest.bool "few false positives" true (fps < 10)
+
+let test_bloom_cardinality_estimate () =
+  let f = Bloompsi.Filter.create ~bits:4096 ~hashes:4 in
+  List.iter (Bloompsi.Filter.add f) (List.init 100 (Printf.sprintf "e%d"));
+  let est = Bloompsi.Filter.estimate_cardinality f in
+  check Alcotest.bool "within 15%" true (abs_float (est -. 100.) < 15.)
+
+let test_bloom_union () =
+  let mk prefix =
+    let f = Bloompsi.Filter.create ~bits:512 ~hashes:3 in
+    List.iter (Bloompsi.Filter.add f) (List.init 10 (Printf.sprintf "%s%d" prefix));
+    f
+  in
+  let u = Bloompsi.Filter.union (mk "a") (mk "b") in
+  check Alcotest.bool "contains both" true
+    (Bloompsi.Filter.mem u "a3" && Bloompsi.Filter.mem u "b7");
+  Alcotest.check_raises "geometry mismatch"
+    (Invalid_argument "Bloompsi.Filter.union: geometry mismatch") (fun () ->
+      ignore
+        (Bloompsi.Filter.union
+           (Bloompsi.Filter.create ~bits:512 ~hashes:3)
+           (Bloompsi.Filter.create ~bits:256 ~hashes:3)))
+
+let test_bloom_debias () =
+  (* with no flip, debias is the identity *)
+  check (Alcotest.float 1e-9) "identity" 100.
+    (Bloompsi.Filter.debias ~flip:0. ~observed_ones:100. ~bits:1024);
+  (* flipping q of the zeros up and q of the ones down *)
+  let true_ones = 200. and bits = 1024 in
+  let observed = (true_ones *. 0.9) +. ((1024. -. true_ones) *. 0.1) in
+  check Alcotest.bool "recovers truth" true
+    (abs_float (Bloompsi.Filter.debias ~flip:0.1 ~observed_ones:observed ~bits -. true_ones)
+     < 1e-6)
+
+let test_bloom_psi_two_parties () =
+  let rng = Prng.of_int 700 in
+  let shared = List.init 60 (Printf.sprintf "s%d") in
+  let a = shared @ List.init 60 (Printf.sprintf "a%d") in
+  let b = shared @ List.init 60 (Printf.sprintf "b%d") in
+  let r = Bloompsi.run ~bits:8192 ~hashes:4 rng [| a; b |] in
+  (* true: |inter| = 60, |union| = 180, J = 1/3 *)
+  check Alcotest.bool "intersection close" true
+    (abs_float (r.Bloompsi.intersection_estimate -. 60.) < 15.);
+  check Alcotest.bool "union close" true
+    (abs_float (r.Bloompsi.union_estimate -. 180.) < 20.);
+  check Alcotest.bool "jaccard close" true
+    (abs_float (r.Bloompsi.jaccard -. (1. /. 3.)) < 0.1);
+  (* traffic: k filters broadcast *)
+  check Alcotest.int "traffic" (2 * 1024) (Transport.total_bytes r.Bloompsi.transport)
+
+let test_bloom_psi_three_parties () =
+  let rng = Prng.of_int 701 in
+  let shared = List.init 40 (Printf.sprintf "s%d") in
+  let sets =
+    [| shared @ List.init 30 (Printf.sprintf "a%d");
+       shared @ List.init 30 (Printf.sprintf "b%d");
+       shared @ List.init 30 (Printf.sprintf "c%d") |]
+  in
+  let r = Bloompsi.run ~bits:8192 rng sets in
+  check Alcotest.bool "3-way intersection" true
+    (abs_float (r.Bloompsi.intersection_estimate -. 40.) < 15.)
+
+let test_bloom_psi_noised () =
+  let rng = Prng.of_int 702 in
+  let shared = List.init 100 (Printf.sprintf "s%d") in
+  let a = shared @ List.init 100 (Printf.sprintf "a%d") in
+  let b = shared @ List.init 100 (Printf.sprintf "b%d") in
+  let r = Bloompsi.run ~bits:16384 ~flip:0.05 rng [| a; b |] in
+  (* noise widens the error bars but the estimate must stay in the
+     right region: true J = 1/3 *)
+  check Alcotest.bool "noised jaccard plausible" true
+    (r.Bloompsi.jaccard > 0.15 && r.Bloompsi.jaccard < 0.55)
+
+let test_bloom_validation () =
+  let rng = Prng.of_int 703 in
+  check Alcotest.bool "one party" true
+    (try
+       ignore (Bloompsi.run rng [| [ "a" ] |]);
+       false
+     with Invalid_argument _ -> true);
+  check Alcotest.bool "bad flip" true
+    (try
+       ignore
+         (Bloompsi.Filter.randomize rng ~flip:0.7
+            (Bloompsi.Filter.create ~bits:8 ~hashes:1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_bloom_in_audit () =
+  let providers = table2_providers () in
+  let report =
+    Audit.audit ~protocol:(Audit.Bloom { bits = 65536; hashes = 4; flip = 0. })
+      ~way:2 providers
+  in
+  (* catalog sets are small; at 64k bits the estimates are tight and
+     the paper ordering's extremes must hold *)
+  let first = List.hd report.Audit.results in
+  let last = List.nth report.Audit.results 5 in
+  check (Alcotest.list Alcotest.string) "most independent"
+    [ "Cloud2"; "Cloud4" ] first.Audit.providers;
+  check (Alcotest.list Alcotest.string) "least independent"
+    [ "Cloud1"; "Cloud2" ] last.Audit.providers
+
+(* --- n-of-m deployments (§4.2.5) ---------------------------------------- *)
+
+let nofm_providers () =
+  [
+    Audit.provider ~name:"A" [ "x"; "y"; "a1"; "a2" ];
+    Audit.provider ~name:"B" [ "x"; "y"; "b1"; "b2" ];
+    Audit.provider ~name:"C" [ "x"; "c1"; "c2"; "c3" ];
+    Audit.provider ~name:"D" [ "d1"; "d2"; "d3"; "d4" ];
+  ]
+
+let test_nofm_shape () =
+  let results = Audit.audit_nofm ~n:2 ~m:3 (nofm_providers ()) in
+  (* C(4,3) = 4 deployments *)
+  check Alcotest.int "four groups" 4 (List.length results);
+  List.iter
+    (fun r ->
+      check Alcotest.int "m providers" 3 (List.length r.Audit.group);
+      check Alcotest.int "n-quorum" 2 (List.length r.Audit.worst_quorum);
+      (* the worst quorum's overlap can only exceed the full group's *)
+      check Alcotest.bool "quorum J >= full J" true
+        (r.Audit.worst_quorum_jaccard >= r.Audit.full_jaccard -. 1e-12))
+    results
+
+let test_nofm_ranking () =
+  let results = Audit.audit_nofm ~n:2 ~m:3 (nofm_providers ()) in
+  (* Groups containing the A&B pair (J = 2/6) inherit it as worst
+     quorum; the best group avoids both A and B together... with 4
+     providers every 3-subset except {A,C,D}/{B,C,D} contains A&B. *)
+  let best = List.hd results in
+  check Alcotest.bool "best group avoids the A&B quorum" true
+    (not (List.mem "A" best.Audit.group && List.mem "B" best.Audit.group));
+  (* monotone in worst_quorum_jaccard *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        a.Audit.worst_quorum_jaccard <= b.Audit.worst_quorum_jaccard +. 1e-12
+        && monotone rest
+    | _ -> true
+  in
+  check Alcotest.bool "sorted" true (monotone results)
+
+let test_nofm_validation () =
+  check Alcotest.bool "n too small" true
+    (try
+       ignore (Audit.audit_nofm ~n:1 ~m:2 (nofm_providers ()));
+       false
+     with Invalid_argument _ -> true);
+  check Alcotest.bool "m too large" true
+    (try
+       ignore (Audit.audit_nofm ~n:2 ~m:9 (nofm_providers ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_nofm_render () =
+  let results = Audit.audit_nofm ~n:2 ~m:3 (nofm_providers ()) in
+  let text = Audit.render_nofm ~n:2 results in
+  check Alcotest.bool "mentions quorum" true
+    (Astring.String.is_infix ~affix:"worst 2-quorum" text)
+
+let test_nofm_psop_agrees_with_clear () =
+  let providers = nofm_providers () in
+  let clear = Audit.audit_nofm ~protocol:Audit.Cleartext ~n:2 ~m:3 providers in
+  let psop =
+    Audit.audit_nofm
+      ~protocol:(Audit.Psop { params = Some (Lazy.force shared_params) })
+      ~n:2 ~m:3 providers
+  in
+  List.iter2
+    (fun a b ->
+      check (Alcotest.list Alcotest.string) "group order" a.Audit.group b.Audit.group;
+      check (Alcotest.float 1e-12) "full J" a.Audit.full_jaccard b.Audit.full_jaccard;
+      check (Alcotest.float 1e-12) "quorum J" a.Audit.worst_quorum_jaccard
+        b.Audit.worst_quorum_jaccard)
+    clear psop
+
+(* --- Audit trail (§5.2 "trust but leave an audit trail") ----------------- *)
+
+module Audit_trail = Indaas_pia.Audit_trail
+
+let trail_set () = Componentset.of_list [ "router:10.0.0.1"; "pkg:openssl=1.0.1" ]
+
+let test_trail_verify_roundtrip () =
+  let rng = Prng.of_int 600 in
+  let set = trail_set () in
+  let record = Audit_trail.commit ~rng ~provider:"CloudA" ~run_id:"run-1" set in
+  check Alcotest.bool "honest dataset verifies" true (Audit_trail.verify record set);
+  (* canonicalization: order and duplicates do not matter *)
+  let same =
+    Componentset.of_list [ "pkg:openssl=1.0.1"; "router:10.0.0.1"; "router:10.0.0.1" ]
+  in
+  check Alcotest.bool "canonical equality" true (Audit_trail.verify record same)
+
+let test_trail_detects_tampering () =
+  let rng = Prng.of_int 601 in
+  let set = trail_set () in
+  let record = Audit_trail.commit ~rng ~provider:"CloudA" ~run_id:"run-1" set in
+  let smaller = Componentset.of_list [ "router:10.0.0.1" ] in
+  check Alcotest.bool "under-declared dataset fails" false
+    (Audit_trail.verify record smaller);
+  let bigger = Componentset.add "pkg:zlib=1.2" set in
+  check Alcotest.bool "padded dataset fails" false (Audit_trail.verify record bigger)
+
+let test_trail_commitments_hide_content () =
+  let rng = Prng.of_int 602 in
+  let r1 = Audit_trail.commit ~rng ~provider:"A" ~run_id:"r" (trail_set ()) in
+  let r2 = Audit_trail.commit ~rng ~provider:"A" ~run_id:"r" (trail_set ()) in
+  (* fresh nonce -> distinct commitments for equal sets *)
+  check Alcotest.bool "nonce blinds" false
+    (Audit_trail.commitment_to_hex r1.Audit_trail.commitment
+     = Audit_trail.commitment_to_hex r2.Audit_trail.commitment)
+
+let test_trail_hex_roundtrip () =
+  let rng = Prng.of_int 603 in
+  let r = Audit_trail.commit ~rng ~provider:"A" ~run_id:"r" (trail_set ()) in
+  let hex = Audit_trail.commitment_to_hex r.Audit_trail.commitment in
+  (match Audit_trail.commitment_of_hex hex with
+  | Some c ->
+      check Alcotest.string "roundtrip" hex (Audit_trail.commitment_to_hex c)
+  | None -> Alcotest.fail "expected parse");
+  check Alcotest.bool "garbage rejected" true
+    (Audit_trail.commitment_of_hex "not:a_commitment" = None);
+  check Alcotest.bool "wrong arity rejected" true
+    (Audit_trail.commitment_of_hex "abc" = None)
+
+let test_trail_registry () =
+  let rng = Prng.of_int 604 in
+  let reg = Audit_trail.Registry.create () in
+  let set = trail_set () in
+  let r1 = Audit_trail.commit ~rng ~provider:"A" ~run_id:"run-1" set in
+  Audit_trail.Registry.add reg r1;
+  Audit_trail.Registry.add reg
+    (Audit_trail.commit ~rng ~provider:"A" ~run_id:"run-2" set);
+  check (Alcotest.list Alcotest.string) "runs" [ "run-1"; "run-2" ]
+    (Audit_trail.Registry.runs_of reg ~provider:"A");
+  check Alcotest.bool "double commit rejected" true
+    (try
+       Audit_trail.Registry.add reg r1;
+       false
+     with Invalid_argument _ -> true);
+  (match Audit_trail.Registry.spot_check reg ~provider:"A" ~run_id:"run-1" set with
+  | `Verified -> ()
+  | _ -> Alcotest.fail "expected Verified");
+  (match
+     Audit_trail.Registry.spot_check reg ~provider:"A" ~run_id:"run-1"
+       (Componentset.of_list [ "x" ])
+   with
+  | `Mismatch -> ()
+  | _ -> Alcotest.fail "expected Mismatch");
+  match Audit_trail.Registry.spot_check reg ~provider:"B" ~run_id:"run-1" set with
+  | `No_commitment -> ()
+  | _ -> Alcotest.fail "expected No_commitment"
+
+let () =
+  Alcotest.run "pia"
+    [
+      ( "componentset",
+        [
+          Alcotest.test_case "set ops" `Quick test_set_ops;
+          Alcotest.test_case "inter_many empty" `Quick test_inter_many_empty;
+          Alcotest.test_case "normalize router" `Quick test_normalize_router;
+          Alcotest.test_case "normalize package" `Quick test_normalize_package;
+          Alcotest.test_case "multiset elements" `Quick test_multiset_elements;
+          Alcotest.test_case "of_depdb" `Quick test_of_depdb;
+        ] );
+      ( "jaccard",
+        [
+          Alcotest.test_case "known values" `Quick test_jaccard_known;
+          Alcotest.test_case "multi-way" `Quick test_jaccard_multi;
+          Alcotest.test_case "validation" `Quick test_of_cardinalities_validation;
+          Alcotest.test_case "correlation threshold" `Quick test_correlated_threshold;
+          Alcotest.test_case "sorensen-dice" `Quick test_sorensen_dice;
+          qtest prop_jaccard_bounds;
+        ] );
+      ( "minhash",
+        [
+          Alcotest.test_case "identical" `Quick test_minhash_identical_sets;
+          Alcotest.test_case "disjoint" `Quick test_minhash_disjoint_sets;
+          Alcotest.test_case "accuracy" `Quick test_minhash_accuracy;
+          Alcotest.test_case "error scaling" `Quick test_minhash_more_hashes_tighter;
+          Alcotest.test_case "positional elements" `Quick
+            test_signature_elements_positional;
+          Alcotest.test_case "validation" `Quick test_minhash_validation;
+          qtest prop_minhash_in_bounds;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "accounting" `Quick test_transport_accounting;
+          Alcotest.test_case "validation" `Quick test_transport_validation;
+        ] );
+      ( "polynomial",
+        [
+          Alcotest.test_case "from_roots" `Quick test_poly_from_roots;
+          Alcotest.test_case "empty roots" `Quick test_poly_empty_roots;
+          Alcotest.test_case "add/mul" `Quick test_poly_add_mul;
+          Alcotest.test_case "zero" `Quick test_poly_zero;
+          Alcotest.test_case "scale" `Quick test_poly_scale;
+          Alcotest.test_case "trim" `Quick test_poly_trim;
+        ] );
+      ( "psop",
+        [
+          Alcotest.test_case "exact cardinalities" `Quick test_psop_exact_cardinalities;
+          Alcotest.test_case "three parties" `Quick test_psop_three_parties;
+          Alcotest.test_case "multiset duplicates" `Quick test_psop_duplicates_as_multiset;
+          Alcotest.test_case "disjoint" `Quick test_psop_disjoint;
+          Alcotest.test_case "one party rejected" `Quick test_psop_single_party_rejected;
+          Alcotest.test_case "traffic and ops" `Quick test_psop_traffic_and_ops;
+          Alcotest.test_case "MD5 + SRA variant" `Quick test_psop_md5_sra_variant;
+          Alcotest.test_case "minhash variant" `Quick test_psop_minhash;
+          Alcotest.test_case "matches cleartext (catalog)" `Quick
+            test_psop_matches_cleartext;
+          qtest prop_psop_matches_cleartext;
+        ] );
+      ( "ks",
+        [
+          Alcotest.test_case "intersection" `Quick test_ks_intersection;
+          Alcotest.test_case "three parties" `Quick test_ks_three_parties;
+          Alcotest.test_case "disjoint/identical" `Quick test_ks_disjoint_and_identical;
+          Alcotest.test_case "matches reference" `Quick test_ks_matches_exact_reference;
+          Alcotest.test_case "costlier than P-SOP" `Quick test_ks_costlier_than_psop;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "table 2 two-way" `Quick test_audit_table2_two_way;
+          Alcotest.test_case "table 2 three-way" `Quick test_audit_table2_three_way;
+          Alcotest.test_case "psop = cleartext" `Quick test_audit_psop_equals_cleartext;
+          Alcotest.test_case "ks two-way jaccard" `Quick test_audit_ks_two_way_matches;
+          Alcotest.test_case "validation" `Quick test_audit_validation;
+          Alcotest.test_case "render" `Quick test_audit_render;
+          Alcotest.test_case "correlated flag" `Quick test_audit_correlated_flag;
+          Alcotest.test_case "nofm shape" `Quick test_nofm_shape;
+          Alcotest.test_case "nofm ranking" `Quick test_nofm_ranking;
+          Alcotest.test_case "nofm validation" `Quick test_nofm_validation;
+          Alcotest.test_case "nofm render" `Quick test_nofm_render;
+          Alcotest.test_case "nofm psop = clear" `Quick test_nofm_psop_agrees_with_clear;
+        ] );
+      ( "bloom-psi",
+        [
+          Alcotest.test_case "membership" `Quick test_bloom_membership;
+          Alcotest.test_case "cardinality estimate" `Quick
+            test_bloom_cardinality_estimate;
+          Alcotest.test_case "union" `Quick test_bloom_union;
+          Alcotest.test_case "debias" `Quick test_bloom_debias;
+          Alcotest.test_case "two parties" `Quick test_bloom_psi_two_parties;
+          Alcotest.test_case "three parties" `Quick test_bloom_psi_three_parties;
+          Alcotest.test_case "noised" `Quick test_bloom_psi_noised;
+          Alcotest.test_case "validation" `Quick test_bloom_validation;
+          Alcotest.test_case "audit integration" `Quick test_bloom_in_audit;
+        ] );
+      ( "audit-trail",
+        [
+          Alcotest.test_case "verify roundtrip" `Quick test_trail_verify_roundtrip;
+          Alcotest.test_case "detects tampering" `Quick test_trail_detects_tampering;
+          Alcotest.test_case "commitments hide content" `Quick
+            test_trail_commitments_hide_content;
+          Alcotest.test_case "hex roundtrip" `Quick test_trail_hex_roundtrip;
+          Alcotest.test_case "registry" `Quick test_trail_registry;
+        ] );
+    ]

@@ -1,0 +1,343 @@
+module Builder = Indaas_sia.Builder
+module Rank = Indaas_sia.Rank
+module Audit = Indaas_sia.Audit
+module Report = Indaas_sia.Report
+module Depdb = Indaas_depdata.Depdb
+module Dependency = Indaas_depdata.Dependency
+module Graph = Indaas_faultgraph.Graph
+module Cutset = Indaas_faultgraph.Cutset
+module Prng = Indaas_util.Prng
+
+let check = Alcotest.check
+
+(* The Figure 2 distributed storage system: S1 and S2 behind a shared
+   ToR1, redundant cores, per-server hardware, and software stacks
+   sharing libc6. *)
+let figure2_db () =
+  let db = Depdb.create () in
+  Depdb.add_all db
+    [
+      Dependency.network ~src:"S1" ~dst:"Internet" ~route:[ "ToR1"; "Core1" ];
+      Dependency.network ~src:"S1" ~dst:"Internet" ~route:[ "ToR1"; "Core2" ];
+      Dependency.network ~src:"S2" ~dst:"Internet" ~route:[ "ToR1"; "Core1" ];
+      Dependency.network ~src:"S2" ~dst:"Internet" ~route:[ "ToR1"; "Core2" ];
+      Dependency.hardware ~hw:"S1" ~hw_type:"CPU" ~dep:"S1-cpu";
+      Dependency.hardware ~hw:"S1" ~hw_type:"Disk" ~dep:"S1-disk";
+      Dependency.hardware ~hw:"S2" ~hw_type:"CPU" ~dep:"S2-cpu";
+      Dependency.hardware ~hw:"S2" ~hw_type:"Disk" ~dep:"S2-disk";
+      Dependency.software ~pgm:"QueryEngine1" ~host:"S1" ~deps:[ "libc6"; "libgccl" ];
+      Dependency.software ~pgm:"Riak1" ~host:"S1" ~deps:[ "libc6"; "libsvn1" ];
+      Dependency.software ~pgm:"QueryEngine2" ~host:"S2" ~deps:[ "libc6"; "libgccl" ];
+      Dependency.software ~pgm:"Riak2" ~host:"S2" ~deps:[ "libc6"; "libsvn1" ];
+    ];
+  db
+
+let rg_names g rgs = List.sort compare (List.map (Cutset.names g) rgs)
+
+(* --- Builder ----------------------------------------------------------- *)
+
+let test_build_figure2 () =
+  let g = Builder.build (figure2_db ()) (Builder.spec [ "S1"; "S2" ]) in
+  let rgs = rg_names g (Cutset.minimal_risk_groups g) in
+  (* shared singletons *)
+  check Alcotest.bool "ToR1 singleton" true (List.mem [ "ToR1" ] rgs);
+  check Alcotest.bool "libc6 singleton" true (List.mem [ "libc6" ] rgs);
+  check Alcotest.bool "libgccl singleton" true (List.mem [ "libgccl" ] rgs);
+  check Alcotest.bool "libsvn1 singleton" true (List.mem [ "libsvn1" ] rgs);
+  check Alcotest.bool "core pair" true (List.mem [ "Core1"; "Core2" ] rgs);
+  (* private hardware only fails in cross-server pairs *)
+  check Alcotest.bool "disk pair" true (List.mem [ "S1-disk"; "S2-disk" ] rgs);
+  check Alcotest.bool "no hw singleton" false (List.mem [ "S1-disk" ] rgs)
+
+let test_build_validation () =
+  let db = figure2_db () in
+  Alcotest.check_raises "no servers" (Invalid_argument "Builder.build: no servers")
+    (fun () -> ignore (Builder.build db (Builder.spec [])));
+  Alcotest.check_raises "required range"
+    (Invalid_argument "Builder.build: required out of range") (fun () ->
+      ignore (Builder.build db (Builder.spec ~required:3 [ "S1"; "S2" ])));
+  Alcotest.check_raises "unknown server"
+    (Invalid_argument "Builder.build: no dependency records for server \"ghost\"")
+    (fun () -> ignore (Builder.build db (Builder.spec [ "S1"; "ghost" ])))
+
+let test_build_with_probabilities () =
+  let spec =
+    Builder.spec ~component_probability:(Builder.uniform_probability 0.1)
+      [ "S1"; "S2" ]
+  in
+  let g = Builder.build (figure2_db ()) spec in
+  Array.iter
+    (fun id ->
+      check (Alcotest.option (Alcotest.float 1e-12)) "prob attached" (Some 0.1)
+        (Graph.prob_of g id))
+    (Graph.basic_ids g)
+
+let test_expected_rg_size () =
+  check Alcotest.int "1-of-3" 3 (Builder.expected_rg_size (Builder.spec [ "a"; "b"; "c" ]));
+  check Alcotest.int "2-of-3" 2
+    (Builder.expected_rg_size (Builder.spec ~required:2 [ "a"; "b"; "c" ]))
+
+let test_build_kofn () =
+  (* 2-of-3 required: any 2 server failures break the service, so a
+     pair of private disks is a minimal RG. *)
+  let db = Depdb.create () in
+  List.iter
+    (fun s ->
+      Depdb.add db (Dependency.hardware ~hw:s ~hw_type:"Disk" ~dep:(s ^ "-disk")))
+    [ "S1"; "S2"; "S3" ];
+  let g = Builder.build db (Builder.spec ~required:2 [ "S1"; "S2"; "S3" ]) in
+  let rgs = rg_names g (Cutset.minimal_risk_groups g) in
+  check Alcotest.int "three pairs" 3 (List.length rgs);
+  check Alcotest.bool "disk pair" true (List.mem [ "S1-disk"; "S2-disk" ] rgs)
+
+let test_network_only_server () =
+  (* A server with only network records still builds. *)
+  let db = Depdb.create () in
+  Depdb.add db (Dependency.network ~src:"S1" ~dst:"I" ~route:[ "sw" ]);
+  Depdb.add db (Dependency.network ~src:"S2" ~dst:"I" ~route:[ "sw" ]);
+  let g = Builder.build db (Builder.spec [ "S1"; "S2" ]) in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "shared switch" [ [ "sw" ] ]
+    (rg_names g (Cutset.minimal_risk_groups g))
+
+let test_direct_route_unfailable () =
+  (* A server with an empty (direct) route has an unfailable network;
+     only its other dependencies matter. *)
+  let db = Depdb.create () in
+  Depdb.add db (Dependency.network ~src:"S1" ~dst:"I" ~route:[]);
+  Depdb.add db (Dependency.hardware ~hw:"S1" ~hw_type:"Disk" ~dep:"d1");
+  Depdb.add db (Dependency.hardware ~hw:"S2" ~hw_type:"Disk" ~dep:"d2");
+  let g = Builder.build db (Builder.spec [ "S1"; "S2" ]) in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "disks only" [ [ "d1"; "d2" ] ]
+    (rg_names g (Cutset.minimal_risk_groups g))
+
+(* --- Rank --------------------------------------------------------------- *)
+
+let ranked_graph () =
+  let g =
+    Graph.of_fault_sets
+      [
+        ("E1", [ ("A1", 0.1); ("A2", 0.2) ]);
+        ("E2", [ ("A2", 0.2); ("A3", 0.3) ]);
+      ]
+  in
+  (g, Cutset.minimal_risk_groups g)
+
+let test_size_based_order () =
+  let g, rgs = ranked_graph () in
+  let ranked = Rank.size_based g rgs in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "smallest first"
+    [ [ "A2" ]; [ "A1"; "A3" ] ]
+    (List.map (fun r -> r.Rank.rg_names) ranked)
+
+let test_probability_based_order () =
+  let g, rgs = ranked_graph () in
+  let ranked = Rank.probability_based (Prng.of_int 1) g rgs in
+  (* A2 has importance 0.8929 > 0.1339 *)
+  check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "by importance"
+    [ [ "A2" ]; [ "A1"; "A3" ] ]
+    (List.map (fun r -> r.Rank.rg_names) ranked);
+  match ranked with
+  | [ first; second ] ->
+      check (Alcotest.float 1e-4) "I(A2)" 0.8929 (Option.get first.Rank.importance);
+      check (Alcotest.float 1e-4) "Pr(A1,A3)" 0.03 (Option.get second.Rank.probability)
+  | _ -> Alcotest.fail "two RGs expected"
+
+let test_independence_scores () =
+  let g, rgs = ranked_graph () in
+  let ranked = Rank.size_based g rgs in
+  check (Alcotest.float 1e-9) "sum of sizes" 3. (Rank.independence_score_size ranked);
+  check (Alcotest.float 1e-9) "top-1" 1. (Rank.independence_score_size ~top_n:1 ranked);
+  let weighted = Rank.probability_based (Prng.of_int 1) g rgs in
+  check (Alcotest.float 1e-3) "sum of importances" 1.0268
+    (Rank.independence_score_importance weighted);
+  Alcotest.check_raises "missing importance"
+    (Invalid_argument "Rank.independence_score_importance: missing importance")
+    (fun () -> ignore (Rank.independence_score_importance ranked))
+
+let test_unexpected_filter () =
+  let g, rgs = ranked_graph () in
+  let ranked = Rank.size_based g rgs in
+  let u = Rank.unexpected ~expected_size:2 ranked in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "singletons are unexpected" [ [ "A2" ] ]
+    (List.map (fun r -> r.Rank.rg_names) u);
+  check Alcotest.int "none at level 1" 0
+    (List.length (Rank.unexpected ~expected_size:1 ranked))
+
+(* --- Audit --------------------------------------------------------------- *)
+
+let test_audit_minimal_vs_sampling_agree () =
+  let db = figure2_db () in
+  let exact = Audit.audit db (Audit.request [ "S1"; "S2" ]) in
+  let sampled =
+    Audit.audit db
+      (Audit.request ~algorithm:(Audit.failure_sampling ~rounds:3000) [ "S1"; "S2" ])
+  in
+  let names r =
+    List.sort compare (List.map (fun x -> x.Rank.rg_names) r.Audit.ranked)
+  in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "same RGs" (names exact) (names sampled)
+
+let test_audit_unexpected_detection () =
+  let db = figure2_db () in
+  let report = Audit.audit db (Audit.request [ "S1"; "S2" ]) in
+  let unexpected =
+    List.sort compare (List.map (fun r -> r.Rank.rg_names) report.Audit.unexpected)
+  in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "all shared singletons"
+    [ [ "ToR1" ]; [ "libc6" ]; [ "libgccl" ]; [ "libsvn1" ] ]
+    unexpected
+
+let test_audit_probability_ranking () =
+  let db = figure2_db () in
+  let report =
+    Audit.audit db
+      (Audit.request
+         ~component_probability:(Builder.uniform_probability 0.01)
+         ~ranking:Audit.Probability_based [ "S1"; "S2" ])
+  in
+  match report.Audit.failure_probability with
+  | None -> Alcotest.fail "Pr(T) expected"
+  | Some p ->
+      (* dominated by the four shared singletons: ~4 * 0.01 *)
+      check Alcotest.bool "plausible Pr" true (p > 0.03 && p < 0.05)
+
+let test_audit_candidates_ranking () =
+  (* Three servers: S1/S2 share everything network-side, S3 is clean. *)
+  let db = Depdb.create () in
+  Depdb.add_all db
+    [
+      Dependency.network ~src:"S1" ~dst:"I" ~route:[ "swA" ];
+      Dependency.network ~src:"S2" ~dst:"I" ~route:[ "swA" ];
+      Dependency.network ~src:"S3" ~dst:"I" ~route:[ "swB" ];
+    ];
+  let reports =
+    Audit.audit_candidates db
+      ~candidates:[ [ "S1"; "S2" ]; [ "S1"; "S3" ]; [ "S2"; "S3" ] ]
+      (Audit.request [])
+  in
+  let best = List.hd reports in
+  check Alcotest.bool "clean pair wins" true
+    (best.Audit.servers = [ "S1"; "S3" ] || best.Audit.servers = [ "S2"; "S3" ]);
+  check Alcotest.int "no unexpected" 0 (List.length best.Audit.unexpected);
+  let worst = List.nth reports 2 in
+  check (Alcotest.list Alcotest.string) "shared pair last" [ "S1"; "S2" ]
+    worst.Audit.servers
+
+let test_choose_best_empty () =
+  let db = figure2_db () in
+  Alcotest.check_raises "no candidates"
+    (Invalid_argument "Audit.choose_best: no candidates") (fun () ->
+      ignore (Audit.choose_best db ~candidates:[] (Audit.request [])))
+
+(* --- Report ---------------------------------------------------------------- *)
+
+let test_render_deployment () =
+  let db = figure2_db () in
+  let report = Audit.audit db (Audit.request [ "S1"; "S2" ]) in
+  let text = Report.render_deployment report in
+  List.iter
+    (fun fragment ->
+      check Alcotest.bool fragment true (Astring.String.is_infix ~affix:fragment text))
+    [ "S1"; "S2"; "risk group"; "unexpected RGs: 4"; "ToR1" ]
+
+let test_render_truncation () =
+  let db = figure2_db () in
+  let report = Audit.audit db (Audit.request [ "S1"; "S2" ]) in
+  let text = Report.render_deployment ~max_rgs:1 report in
+  check Alcotest.bool "omission note" true
+    (Astring.String.is_infix ~affix:"more risk groups omitted" text)
+
+let test_render_comparison () =
+  let db = figure2_db () in
+  let reports = Audit.audit_candidates db ~candidates:[ [ "S1"; "S2" ] ] (Audit.request []) in
+  let text = Report.render_comparison reports in
+  check Alcotest.bool "has header" true
+    (Astring.String.is_infix ~affix:"#unexpected" text)
+
+let test_summary_line () =
+  let db = figure2_db () in
+  let report = Audit.audit db (Audit.request [ "S1"; "S2" ]) in
+  let line = Report.summary_line report in
+  check Alcotest.bool "mentions unexpected" true
+    (Astring.String.is_infix ~affix:"4 unexpected" line)
+
+
+let test_json_report () =
+  let db = figure2_db () in
+  let report =
+    Audit.audit db
+      (Audit.request
+         ~component_probability:(Builder.uniform_probability 0.1)
+         ~ranking:Audit.Probability_based [ "S1"; "S2" ])
+  in
+  let json =
+    Indaas_util.Json.to_string (Report.deployment_to_json report)
+  in
+  List.iter
+    (fun fragment ->
+      check Alcotest.bool fragment true
+        (Astring.String.is_infix ~affix:fragment json))
+    [
+      {|"servers":["S1","S2"]|};
+      {|"expected_rg_size":2|};
+      {|"failure_probability":|};
+      {|"ToR1"|};
+    ];
+  (* comparison serializes to a list *)
+  let cmp = Indaas_util.Json.to_string (Report.comparison_to_json [ report ]) in
+  check Alcotest.bool "list" true (String.length cmp > 2 && cmp.[0] = '[')
+
+let () =
+  Alcotest.run "sia"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "figure 2 graph" `Quick test_build_figure2;
+          Alcotest.test_case "validation" `Quick test_build_validation;
+          Alcotest.test_case "probabilities" `Quick test_build_with_probabilities;
+          Alcotest.test_case "expected RG size" `Quick test_expected_rg_size;
+          Alcotest.test_case "k-of-n deployment" `Quick test_build_kofn;
+          Alcotest.test_case "network-only server" `Quick test_network_only_server;
+          Alcotest.test_case "direct route" `Quick test_direct_route_unfailable;
+        ] );
+      ( "rank",
+        [
+          Alcotest.test_case "size-based order" `Quick test_size_based_order;
+          Alcotest.test_case "probability-based order" `Quick
+            test_probability_based_order;
+          Alcotest.test_case "independence scores" `Quick test_independence_scores;
+          Alcotest.test_case "unexpected filter" `Quick test_unexpected_filter;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "algorithms agree" `Quick
+            test_audit_minimal_vs_sampling_agree;
+          Alcotest.test_case "unexpected detection" `Quick
+            test_audit_unexpected_detection;
+          Alcotest.test_case "probability ranking" `Quick test_audit_probability_ranking;
+          Alcotest.test_case "candidate ranking" `Quick test_audit_candidates_ranking;
+          Alcotest.test_case "choose_best empty" `Quick test_choose_best_empty;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "render deployment" `Quick test_render_deployment;
+          Alcotest.test_case "truncation" `Quick test_render_truncation;
+          Alcotest.test_case "render comparison" `Quick test_render_comparison;
+          Alcotest.test_case "summary line" `Quick test_summary_line;
+          Alcotest.test_case "json report" `Quick test_json_report;
+        ] );
+    ]

@@ -1,0 +1,387 @@
+module Circuit = Indaas_smpc.Circuit
+module Ot = Indaas_smpc.Ot
+module Gmw = Indaas_smpc.Gmw
+module Prng = Indaas_util.Prng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Circuit ----------------------------------------------------------- *)
+
+let test_gate_basics () =
+  let b = Circuit.Builder.create () in
+  let x = Circuit.Builder.input b ~party:0 in
+  let y = Circuit.Builder.input b ~party:1 in
+  let o_xor = Circuit.Builder.xor b x y in
+  let o_and = Circuit.Builder.and_ b x y in
+  let o_or = Circuit.Builder.or_ b x y in
+  let o_not = Circuit.Builder.not_ b x in
+  let c = Circuit.Builder.build b ~outputs:[ o_xor; o_and; o_or; o_not ] in
+  List.iter
+    (fun (vx, vy) ->
+      let outputs = Circuit.evaluate c ~inputs:[ (x, vx); (y, vy) ] in
+      check (Alcotest.list Alcotest.bool)
+        (Printf.sprintf "%b,%b" vx vy)
+        [ vx <> vy; vx && vy; vx || vy; not vx ]
+        outputs)
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let test_equal_circuit () =
+  let b = Circuit.Builder.create () in
+  let xs = List.init 4 (fun _ -> Circuit.Builder.input b ~party:0) in
+  let ys = List.init 4 (fun _ -> Circuit.Builder.input b ~party:1) in
+  let eq = Circuit.Builder.equal b xs ys in
+  let c = Circuit.Builder.build b ~outputs:[ eq ] in
+  let assign ws v = List.mapi (fun i w -> (w, (v lsr i) land 1 = 1)) ws in
+  for vx = 0 to 15 do
+    for vy = 0 to 15 do
+      let out = Circuit.evaluate c ~inputs:(assign xs vx @ assign ys vy) in
+      check Alcotest.bool
+        (Printf.sprintf "%d=%d" vx vy)
+        (vx = vy) (List.hd out)
+    done
+  done
+
+let test_adder () =
+  let b = Circuit.Builder.create () in
+  let xs = List.init 3 (fun _ -> Circuit.Builder.input b ~party:0) in
+  let ys = List.init 3 (fun _ -> Circuit.Builder.input b ~party:1) in
+  let sum = Circuit.Builder.add b xs ys in
+  let c = Circuit.Builder.build b ~outputs:sum in
+  let assign ws v = List.mapi (fun i w -> (w, (v lsr i) land 1 = 1)) ws in
+  let decode bits =
+    List.fold_left (fun acc bit -> (2 * acc) + if bit then 1 else 0) 0 (List.rev bits)
+  in
+  for vx = 0 to 7 do
+    for vy = 0 to 7 do
+      let out = Circuit.evaluate c ~inputs:(assign xs vx @ assign ys vy) in
+      check Alcotest.int (Printf.sprintf "%d+%d" vx vy) (vx + vy) (decode out)
+    done
+  done
+
+let test_popcount () =
+  let n = 9 in
+  let b = Circuit.Builder.create () in
+  let xs = List.init n (fun _ -> Circuit.Builder.input b ~party:0) in
+  let count = Circuit.Builder.popcount b xs in
+  let c = Circuit.Builder.build b ~outputs:count in
+  let decode bits =
+    List.fold_left (fun acc bit -> (2 * acc) + if bit then 1 else 0) 0 (List.rev bits)
+  in
+  let rng = Prng.of_int 5 in
+  for _ = 1 to 50 do
+    let values = List.map (fun w -> (w, Prng.bool rng)) xs in
+    let expected = List.length (List.filter snd values) in
+    check Alcotest.int "popcount" expected
+      (decode (Circuit.evaluate c ~inputs:values))
+  done
+
+let test_circuit_validation () =
+  let b = Circuit.Builder.create () in
+  let x = Circuit.Builder.input b ~party:0 in
+  check Alcotest.bool "unknown wire" true
+    (try
+       ignore (Circuit.Builder.xor b x 42);
+       false
+     with Invalid_argument _ -> true);
+  check Alcotest.bool "bad party" true
+    (try
+       ignore (Circuit.Builder.input b ~party:2);
+       false
+     with Invalid_argument _ -> true);
+  check Alcotest.bool "width mismatch" true
+    (try
+       ignore (Circuit.Builder.equal b [ x ] [ x; x ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_and_count_and_inputs () =
+  let circuit, (w0, w1) = Circuit.intersection_cardinality ~bits:4 ~n0:2 ~n1:3 in
+  (* eq gate: 4 xnor + 3-and tree; or_tree of 3 = 2 ands (as ors);
+     popcount small. Just sanity-check counts are positive and input
+     wires match. *)
+  check Alcotest.bool "has AND gates" true (Circuit.and_count circuit > 0);
+  check Alcotest.int "party0 words" 2 (List.length w0);
+  check Alcotest.int "party1 words" 3 (List.length w1);
+  check Alcotest.int "party0 wires" 8
+    (List.length (Circuit.input_wires circuit ~party:0));
+  check Alcotest.int "party1 wires" 12
+    (List.length (Circuit.input_wires circuit ~party:1))
+
+(* --- OT ------------------------------------------------------------------ *)
+
+let test_ot2_correctness () =
+  let rng = Prng.of_int 10 in
+  let params = Ot.setup ~bits:96 rng in
+  List.iter
+    (fun (m0, m1) ->
+      List.iter
+        (fun choice ->
+          let got = Ot.transfer2 params rng ~messages:(m0, m1) ~choice in
+          check Alcotest.bool
+            (Printf.sprintf "m0=%b m1=%b choice=%b" m0 m1 choice)
+            (if choice then m1 else m0)
+            got)
+        [ false; true ])
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let test_ot4_correctness () =
+  let rng = Prng.of_int 11 in
+  let params = Ot.setup ~bits:96 rng in
+  for mask = 0 to 15 do
+    let bit i = mask lsr i land 1 = 1 in
+    for choice = 0 to 3 do
+      let got =
+        Ot.transfer4 params rng ~messages:(bit 0, bit 1, bit 2, bit 3) ~choice
+      in
+      check Alcotest.bool
+        (Printf.sprintf "mask=%d choice=%d" mask choice)
+        (bit choice) got
+    done
+  done
+
+let test_ot_accounting () =
+  let rng = Prng.of_int 12 in
+  let params = Ot.setup ~bits:96 rng in
+  let before = (Ot.stats params).Ot.exponentiations in
+  ignore (Ot.transfer2 params rng ~messages:(true, false) ~choice:false);
+  let after = (Ot.stats params).Ot.exponentiations in
+  check Alcotest.bool "exponentiations counted" true (after > before);
+  check Alcotest.bool "bytes counted" true ((Ot.stats params).Ot.bytes > 0)
+
+(* --- GMW ------------------------------------------------------------------ *)
+
+let test_gmw_matches_plain_eval () =
+  let rng = Prng.of_int 20 in
+  (* A small mixed circuit: ((x0 AND y0) XOR x1) OR (NOT y1) *)
+  let b = Circuit.Builder.create () in
+  let x0 = Circuit.Builder.input b ~party:0 in
+  let x1 = Circuit.Builder.input b ~party:0 in
+  let y0 = Circuit.Builder.input b ~party:1 in
+  let y1 = Circuit.Builder.input b ~party:1 in
+  let expr =
+    Circuit.Builder.or_ b
+      (Circuit.Builder.xor b (Circuit.Builder.and_ b x0 y0) x1)
+      (Circuit.Builder.not_ b y1)
+  in
+  let c = Circuit.Builder.build b ~outputs:[ expr ] in
+  for mask = 0 to 15 do
+    let bit i = mask lsr i land 1 = 1 in
+    let inputs0 = [ (x0, bit 0); (x1, bit 1) ] in
+    let inputs1 = [ (y0, bit 2); (y1, bit 3) ] in
+    let plain = Circuit.evaluate c ~inputs:(inputs0 @ inputs1) in
+    let secure = Gmw.execute ~ot_bits:96 rng c ~inputs0 ~inputs1 in
+    check (Alcotest.list Alcotest.bool)
+      (Printf.sprintf "mask %d" mask)
+      plain secure.Gmw.outputs
+  done
+
+let test_gmw_missing_input () =
+  let rng = Prng.of_int 21 in
+  let b = Circuit.Builder.create () in
+  let x = Circuit.Builder.input b ~party:0 in
+  let c = Circuit.Builder.build b ~outputs:[ x ] in
+  check Alcotest.bool "missing input" true
+    (try
+       ignore (Gmw.execute ~ot_bits:96 rng c ~inputs0:[] ~inputs1:[]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_gmw_cost_accounting () =
+  let rng = Prng.of_int 22 in
+  let b = Circuit.Builder.create () in
+  let x = Circuit.Builder.input b ~party:0 in
+  let y = Circuit.Builder.input b ~party:1 in
+  let z = Circuit.Builder.and_ b x y in
+  let z2 = Circuit.Builder.and_ b z y in
+  let c = Circuit.Builder.build b ~outputs:[ z2 ] in
+  let r =
+    Gmw.execute ~ot_bits:96 rng c ~inputs0:[ (x, true) ] ~inputs1:[ (y, true) ]
+  in
+  check Alcotest.int "two AND gates = two OTs" 2 r.Gmw.and_gates;
+  check Alcotest.bool "exponentiations counted" true (r.Gmw.ot_exponentiations > 0);
+  check Alcotest.bool "traffic counted" true (r.Gmw.bytes > 0)
+
+let test_gmw_intersection () =
+  let rng = Prng.of_int 23 in
+  let _, count =
+    Gmw.intersection_cardinality ~ot_bits:96 ~tag_bits:16 rng
+      [ "openssl"; "libc6"; "nginx" ]
+      [ "libc6"; "postgres"; "openssl"; "redis" ]
+  in
+  check Alcotest.int "cardinality" 2 count;
+  let _, zero =
+    Gmw.intersection_cardinality ~ot_bits:96 ~tag_bits:16 rng [ "a" ] [ "b" ]
+  in
+  check Alcotest.int "disjoint" 0 zero;
+  let _, dup =
+    Gmw.intersection_cardinality ~ot_bits:96 ~tag_bits:16 rng
+      [ "a"; "a"; "b" ] [ "a" ]
+  in
+  (* set semantics after dedup *)
+  check Alcotest.int "dedup" 1 dup
+
+(* --- property: GMW = plain on random circuits ----------------------------- *)
+
+let gen_circuit_seedpair = QCheck.(pair small_int (int_bound 255))
+
+let prop_gmw_random_circuits =
+  QCheck.Test.make ~name:"GMW matches plain evaluation" ~count:20
+    gen_circuit_seedpair (fun (seed, input_mask) ->
+      let rng = Prng.of_int seed in
+      (* random straight-line circuit over 3+3 inputs *)
+      let b = Circuit.Builder.create () in
+      let xs = List.init 3 (fun _ -> Circuit.Builder.input b ~party:0) in
+      let ys = List.init 3 (fun _ -> Circuit.Builder.input b ~party:1) in
+      let wires = ref (xs @ ys) in
+      for _ = 1 to 12 do
+        let pick () = List.nth !wires (Prng.int rng (List.length !wires)) in
+        let w =
+          match Prng.int rng 3 with
+          | 0 -> Circuit.Builder.xor b (pick ()) (pick ())
+          | 1 -> Circuit.Builder.and_ b (pick ()) (pick ())
+          | _ -> Circuit.Builder.not_ b (pick ())
+        in
+        wires := w :: !wires
+      done;
+      let c = Circuit.Builder.build b ~outputs:[ List.hd !wires ] in
+      let bit i = input_mask lsr i land 1 = 1 in
+      let inputs0 = List.mapi (fun i w -> (w, bit i)) xs in
+      let inputs1 = List.mapi (fun i w -> (w, bit (i + 3))) ys in
+      let plain = Circuit.evaluate c ~inputs:(inputs0 @ inputs1) in
+      let secure = Gmw.execute ~ot_bits:96 rng c ~inputs0 ~inputs1 in
+      plain = secure.Gmw.outputs)
+
+
+(* --- Yao garbled circuits --------------------------------------------------- *)
+
+module Garble = Indaas_smpc.Garble
+
+let test_garble_matches_plain_eval () =
+  let rng = Prng.of_int 30 in
+  let b = Circuit.Builder.create () in
+  let x0 = Circuit.Builder.input b ~party:0 in
+  let x1 = Circuit.Builder.input b ~party:0 in
+  let y0 = Circuit.Builder.input b ~party:1 in
+  let y1 = Circuit.Builder.input b ~party:1 in
+  let expr =
+    Circuit.Builder.or_ b
+      (Circuit.Builder.xor b (Circuit.Builder.and_ b x0 y0) x1)
+      (Circuit.Builder.not_ b y1)
+  in
+  let c = Circuit.Builder.build b ~outputs:[ expr ] in
+  for mask = 0 to 15 do
+    let bit i = mask lsr i land 1 = 1 in
+    let inputs0 = [ (x0, bit 0); (x1, bit 1) ] in
+    let inputs1 = [ (y0, bit 2); (y1, bit 3) ] in
+    let plain = Circuit.evaluate c ~inputs:(inputs0 @ inputs1) in
+    let secure = Garble.execute ~ot_bits:96 rng c ~inputs0 ~inputs1 in
+    check (Alcotest.list Alcotest.bool)
+      (Printf.sprintf "mask %d" mask)
+      plain secure.Garble.outputs
+  done
+
+let test_garble_costs () =
+  let rng = Prng.of_int 31 in
+  let b = Circuit.Builder.create () in
+  let x = Circuit.Builder.input b ~party:0 in
+  let y = Circuit.Builder.input b ~party:1 in
+  let z = Circuit.Builder.input b ~party:1 in
+  let w = Circuit.Builder.and_ b (Circuit.Builder.and_ b x y) z in
+  let c = Circuit.Builder.build b ~outputs:[ w ] in
+  let r =
+    Garble.execute ~ot_bits:96 rng c ~inputs0:[ (x, true) ]
+      ~inputs1:[ (y, true); (z, false) ]
+  in
+  check Alcotest.int "and gates" 2 r.Garble.and_gates;
+  check Alcotest.int "table bytes" (2 * 4 * 16) r.Garble.table_bytes;
+  (* OT only per evaluator input bit, not per AND gate *)
+  check Alcotest.int "one OT per evaluator input" 2 r.Garble.ot_count;
+  check (Alcotest.list Alcotest.bool) "result" [ false ] r.Garble.outputs
+
+let test_garble_intersection () =
+  let rng = Prng.of_int 32 in
+  let _, count =
+    Garble.intersection_cardinality ~ot_bits:96 ~tag_bits:16 rng
+      [ "openssl"; "libc6"; "nginx" ]
+      [ "libc6"; "postgres"; "openssl"; "redis" ]
+  in
+  check Alcotest.int "cardinality" 2 count
+
+let test_garble_cheaper_than_gmw () =
+  (* Same circuit: Yao pays OTs only for the evaluator's inputs. *)
+  let rng = Prng.of_int 33 in
+  let datasets = (List.init 4 (Printf.sprintf "a%d"), List.init 4 (Printf.sprintf "b%d")) in
+  let gmw, _ =
+    Gmw.intersection_cardinality ~ot_bits:96 ~tag_bits:8 (Prng.copy rng)
+      (fst datasets) (snd datasets)
+  in
+  let yao, _ =
+    Garble.intersection_cardinality ~ot_bits:96 ~tag_bits:8 (Prng.copy rng)
+      (fst datasets) (snd datasets)
+  in
+  check Alcotest.bool "far fewer exponentiations" true
+    (yao.Garble.ot_exponentiations < gmw.Gmw.ot_exponentiations / 4)
+
+let prop_garble_random_circuits =
+  QCheck.Test.make ~name:"Yao matches plain evaluation" ~count:20
+    gen_circuit_seedpair (fun (seed, input_mask) ->
+      let rng = Prng.of_int seed in
+      let b = Circuit.Builder.create () in
+      let xs = List.init 3 (fun _ -> Circuit.Builder.input b ~party:0) in
+      let ys = List.init 3 (fun _ -> Circuit.Builder.input b ~party:1) in
+      let wires = ref (xs @ ys) in
+      for _ = 1 to 12 do
+        let pick () = List.nth !wires (Prng.int rng (List.length !wires)) in
+        let w =
+          match Prng.int rng 3 with
+          | 0 -> Circuit.Builder.xor b (pick ()) (pick ())
+          | 1 -> Circuit.Builder.and_ b (pick ()) (pick ())
+          | _ -> Circuit.Builder.not_ b (pick ())
+        in
+        wires := w :: !wires
+      done;
+      let c = Circuit.Builder.build b ~outputs:[ List.hd !wires ] in
+      let bit i = input_mask lsr i land 1 = 1 in
+      let inputs0 = List.mapi (fun i w -> (w, bit i)) xs in
+      let inputs1 = List.mapi (fun i w -> (w, bit (i + 3))) ys in
+      let plain = Circuit.evaluate c ~inputs:(inputs0 @ inputs1) in
+      let secure = Garble.execute ~ot_bits:96 rng c ~inputs0 ~inputs1 in
+      plain = secure.Garble.outputs)
+
+let () =
+  Alcotest.run "smpc"
+    [
+      ( "circuit",
+        [
+          Alcotest.test_case "gate basics" `Quick test_gate_basics;
+          Alcotest.test_case "equality" `Quick test_equal_circuit;
+          Alcotest.test_case "adder" `Quick test_adder;
+          Alcotest.test_case "popcount" `Quick test_popcount;
+          Alcotest.test_case "validation" `Quick test_circuit_validation;
+          Alcotest.test_case "intersection circuit shape" `Quick
+            test_and_count_and_inputs;
+        ] );
+      ( "ot",
+        [
+          Alcotest.test_case "1-of-2 correctness" `Quick test_ot2_correctness;
+          Alcotest.test_case "1-of-4 correctness" `Quick test_ot4_correctness;
+          Alcotest.test_case "accounting" `Quick test_ot_accounting;
+        ] );
+      ( "gmw",
+        [
+          Alcotest.test_case "matches plain eval" `Quick test_gmw_matches_plain_eval;
+          Alcotest.test_case "missing input" `Quick test_gmw_missing_input;
+          Alcotest.test_case "cost accounting" `Quick test_gmw_cost_accounting;
+          Alcotest.test_case "intersection cardinality" `Slow test_gmw_intersection;
+          qtest prop_gmw_random_circuits;
+        ] );
+      ( "garble",
+        [
+          Alcotest.test_case "matches plain eval" `Quick test_garble_matches_plain_eval;
+          Alcotest.test_case "cost structure" `Quick test_garble_costs;
+          Alcotest.test_case "intersection" `Quick test_garble_intersection;
+          Alcotest.test_case "cheaper than GMW" `Quick test_garble_cheaper_than_gmw;
+          qtest prop_garble_random_circuits;
+        ] );
+    ]

@@ -1,0 +1,292 @@
+module Fattree = Indaas_topology.Fattree
+module Datacenter = Indaas_topology.Datacenter
+module Dependency = Indaas_depdata.Dependency
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- fat tree: Table 3 ------------------------------------------------ *)
+
+let test_table3_counts () =
+  (* The paper's Table 3, exactly. *)
+  let expect =
+    [
+      (16, 64, 128, 128, 1_024, 1_344);
+      (24, 144, 288, 288, 3_456, 4_176);
+      (48, 576, 1_152, 1_152, 27_648, 30_528);
+    ]
+  in
+  List.iter
+    (fun (k, cores, aggs, tors, servers, total) ->
+      let t = Fattree.create ~k in
+      check Alcotest.int "cores" cores (Fattree.core_count t);
+      check Alcotest.int "aggs" aggs (Fattree.agg_count t);
+      check Alcotest.int "tors" tors (Fattree.edge_count t);
+      check Alcotest.int "servers" servers (Fattree.server_count t);
+      check Alcotest.int "total" total (Fattree.device_count t))
+    expect
+
+let test_table3_row () =
+  let t = Fattree.create ~k:16 in
+  check (Alcotest.list Alcotest.string) "row"
+    [ "16"; "64"; "128"; "128"; "1024"; "1344" ]
+    (Fattree.table3_row t)
+
+let test_create_validation () =
+  Alcotest.check_raises "odd k"
+    (Invalid_argument "Fattree.create: k must be an even integer >= 4") (fun () ->
+      ignore (Fattree.create ~k:5));
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Fattree.create: k must be an even integer >= 4") (fun () ->
+      ignore (Fattree.create ~k:2))
+
+let test_rack_structure () =
+  let t = Fattree.create ~k:4 in
+  (* k=4: 16 servers, 8 edge switches, 2 per rack *)
+  check Alcotest.int "servers" 16 (Fattree.server_count t);
+  check Alcotest.int "rack of server 0" 0 (Fattree.rack_of_server t 0);
+  check Alcotest.int "rack of server 2" 1 (Fattree.rack_of_server t 2);
+  check (Alcotest.list Alcotest.int) "servers of rack 1" [ 2; 3 ]
+    (Fattree.servers_of_rack t 1);
+  check Alcotest.int "pod of server 0" 0 (Fattree.pod_of_server t 0);
+  check Alcotest.int "pod of last server" 3 (Fattree.pod_of_server t 15)
+
+let test_routes_structure () =
+  let t = Fattree.create ~k:4 in
+  let routes = Fattree.routes_to_core t ~server:0 in
+  (* (k/2)^2 = 4 paths *)
+  check Alcotest.int "path count" 4 (List.length routes);
+  List.iter
+    (fun route ->
+      check Alcotest.int "3 hops" 3 (List.length route);
+      match route with
+      | [ edge; agg; core ] ->
+          check Alcotest.string "edge" "tor0" edge;
+          check Alcotest.bool "agg prefix" true (String.length agg > 3 && String.sub agg 0 3 = "agg");
+          check Alcotest.bool "core prefix" true
+            (String.length core > 4 && String.sub core 0 4 = "core")
+      | _ -> Alcotest.fail "route shape")
+    routes;
+  (* all 4 routes distinct *)
+  check Alcotest.int "distinct" 4 (List.length (List.sort_uniq compare routes))
+
+let test_routes_stay_in_pod () =
+  let t = Fattree.create ~k:8 in
+  let server = 37 in
+  let pod = Fattree.pod_of_server t server in
+  List.iter
+    (fun route ->
+      match route with
+      | [ _; agg; _ ] ->
+          (* agg index within the server's pod: pod*k/2 <= idx < (pod+1)*k/2 *)
+          let idx = int_of_string (String.sub agg 3 (String.length agg - 3)) in
+          check Alcotest.bool "agg in pod" true (idx >= pod * 4 && idx < (pod + 1) * 4)
+      | _ -> Alcotest.fail "route shape")
+    (Fattree.routes_to_core t ~server)
+
+let test_agg_core_wiring () =
+  (* Aggregation switch a (within pod) connects to cores
+     [a*k/2 .. a*k/2+k/2-1]; two servers in different pods with the
+     same agg offset must reach the same cores. *)
+  let t = Fattree.create ~k:4 in
+  let cores_of server =
+    Fattree.routes_to_core t ~server
+    |> List.map (fun r -> List.nth r 2)
+    |> List.sort_uniq compare
+  in
+  check (Alcotest.list Alcotest.string) "same core set across pods"
+    (cores_of 0) (cores_of 15)
+
+let test_network_records () =
+  let t = Fattree.create ~k:4 in
+  let records = Fattree.network_records t ~server:3 in
+  check Alcotest.int "one per route" 4 (List.length records);
+  List.iter
+    (fun r ->
+      match r with
+      | Dependency.Network n ->
+          check Alcotest.string "src" "server3" n.Dependency.src;
+          check Alcotest.string "dst" "Internet" n.Dependency.dst
+      | _ -> Alcotest.fail "network record expected")
+    records
+
+let test_name_range_checks () =
+  let t = Fattree.create ~k:4 in
+  Alcotest.check_raises "server range"
+    (Invalid_argument "Fattree.server_name: index 16 out of range") (fun () ->
+      ignore (Fattree.server_name t 16))
+
+(* --- §6.2.1 datacenter ------------------------------------------------ *)
+
+let test_candidates () =
+  let dc = Datacenter.create () in
+  let candidates = Datacenter.candidate_racks dc in
+  check Alcotest.int "20 candidates" 20 (List.length candidates);
+  check Alcotest.bool "rack 5" true (List.mem 5 candidates);
+  check Alcotest.bool "rack 29" true (List.mem 29 candidates);
+  check Alcotest.bool "rack 1 not a candidate" false (List.mem 1 candidates);
+  check Alcotest.int "33 racks" 33 (List.length (Datacenter.rack_ids dc))
+
+let test_core_classes () =
+  let dc = Datacenter.create () in
+  check (Alcotest.list Alcotest.string) "rack 5 via b1" [ "b1" ]
+    (Datacenter.cores_of_rack dc 5);
+  check (Alcotest.list Alcotest.string) "rack 29 via c1" [ "c1" ]
+    (Datacenter.cores_of_rack dc 29)
+
+let test_shared_tors () =
+  let dc = Datacenter.create () in
+  check Alcotest.string "rack 6 shares rack 5's ToR" (Datacenter.tor_of_rack dc 5)
+    (Datacenter.tor_of_rack dc 6);
+  check Alcotest.bool "rack 7 has its own" true
+    (Datacenter.tor_of_rack dc 7 <> Datacenter.tor_of_rack dc 5)
+
+let test_routes () =
+  let dc = Datacenter.create () in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "rack 9 route"
+    [ [ "e9"; "b1" ] ]
+    (Datacenter.routes dc ~rack:9)
+
+let test_all_records () =
+  let dc = Datacenter.create () in
+  let records = Datacenter.all_network_records dc in
+  (* single-homed candidates have exactly one route each *)
+  check Alcotest.int "20 records" 20 (List.length records)
+
+let test_names () =
+  check Alcotest.string "rack name" "Rack7" (Datacenter.rack_name 7);
+  check Alcotest.string "server name" "serverR7" (Datacenter.server_of_rack 7)
+
+
+(* --- traffic + mining end-to-end ---------------------------------------- *)
+
+module Traffic = Indaas_topology.Traffic
+module Flowmine = Indaas_depdata.Flowmine
+module Depdb = Indaas_depdata.Depdb
+
+let test_traffic_lossless_recovers_paths () =
+  (* With enough lossless flows, mining recovers exactly the server's
+     equal-cost paths. *)
+  let t = Fattree.create ~k:4 in
+  let rng = Indaas_util.Prng.of_int 55 in
+  let db =
+    Traffic.mined_database
+      ~config:{ Traffic.flows_per_server = 400; Traffic.drop_probability = 0. }
+      ~min_occurrences:2 rng t ~servers:[ 0 ]
+  in
+  let mined =
+    Depdb.network_paths db ~src:"server0"
+    |> List.map (fun (n : Dependency.network) -> n.Dependency.route)
+    |> List.sort compare
+  in
+  let truth = List.sort compare (Fattree.routes_to_core t ~server:0) in
+  check (Alcotest.list (Alcotest.list Alcotest.string)) "all 4 paths" truth mined
+
+let test_traffic_lossy_still_finds_major_paths () =
+  let t = Fattree.create ~k:4 in
+  let rng = Indaas_util.Prng.of_int 56 in
+  let db =
+    Traffic.mined_database
+      ~config:{ Traffic.flows_per_server = 600; Traffic.drop_probability = 0.05 }
+      ~min_occurrences:20 rng t ~servers:[ 0 ]
+  in
+  let mined =
+    Depdb.network_paths db ~src:"server0"
+    |> List.map (fun (n : Dependency.network) -> n.Dependency.route)
+  in
+  (* the four true 3-hop paths dominate; any truncated variants fall
+     under the threshold *)
+  let truth = Fattree.routes_to_core t ~server:0 in
+  List.iter
+    (fun p ->
+      check Alcotest.bool "true path mined" true (List.mem p mined))
+    truth;
+  List.iter
+    (fun p -> check Alcotest.int "full length" 3 (List.length p))
+    mined
+
+let test_traffic_flow_ids_unique () =
+  let t = Fattree.create ~k:4 in
+  let rng = Indaas_util.Prng.of_int 57 in
+  let observations =
+    Traffic.generate
+      ~config:{ Traffic.flows_per_server = 5; Traffic.drop_probability = 0. }
+      rng t ~servers:[ 0; 1 ]
+  in
+  let flows =
+    List.sort_uniq compare (List.map (fun o -> o.Flowmine.flow) observations)
+  in
+  check Alcotest.int "10 distinct flows" 10 (List.length flows)
+
+let test_traffic_validation () =
+  let t = Fattree.create ~k:4 in
+  let rng = Indaas_util.Prng.of_int 58 in
+  check Alcotest.bool "bad drop" true
+    (try
+       ignore
+         (Traffic.generate
+            ~config:{ Traffic.flows_per_server = 1; Traffic.drop_probability = 1. }
+            rng t ~servers:[ 0 ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- qcheck ------------------------------------------------------------ *)
+
+let gen_k = QCheck.make QCheck.Gen.(map (fun i -> 2 * i) (int_range 2 12))
+
+let prop_counts_formulae =
+  QCheck.Test.make ~name:"fat-tree counting identities" ~count:50 gen_k (fun k ->
+      let t = Fattree.create ~k in
+      Fattree.core_count t = k * k / 4
+      && Fattree.agg_count t = k * k / 2
+      && Fattree.edge_count t = k * k / 2
+      && Fattree.server_count t = k * k * k / 4)
+
+let prop_every_server_has_paths =
+  QCheck.Test.make ~name:"every server has (k/2)^2 distinct paths" ~count:20 gen_k
+    (fun k ->
+      let t = Fattree.create ~k in
+      let g = Indaas_util.Prng.of_int k in
+      let server = Indaas_util.Prng.int g (Fattree.server_count t) in
+      let routes = Fattree.routes_to_core t ~server in
+      List.length routes = k * k / 4
+      && List.length (List.sort_uniq compare routes) = k * k / 4)
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "fattree",
+        [
+          Alcotest.test_case "table 3 counts" `Quick test_table3_counts;
+          Alcotest.test_case "table 3 row" `Quick test_table3_row;
+          Alcotest.test_case "validation" `Quick test_create_validation;
+          Alcotest.test_case "rack structure" `Quick test_rack_structure;
+          Alcotest.test_case "routes" `Quick test_routes_structure;
+          Alcotest.test_case "routes stay in pod" `Quick test_routes_stay_in_pod;
+          Alcotest.test_case "agg-core wiring" `Quick test_agg_core_wiring;
+          Alcotest.test_case "network records" `Quick test_network_records;
+          Alcotest.test_case "range checks" `Quick test_name_range_checks;
+          qtest prop_counts_formulae;
+          qtest prop_every_server_has_paths;
+        ] );
+      ( "traffic",
+        [
+          Alcotest.test_case "lossless mining exact" `Quick
+            test_traffic_lossless_recovers_paths;
+          Alcotest.test_case "lossy mining robust" `Quick
+            test_traffic_lossy_still_finds_major_paths;
+          Alcotest.test_case "unique flow ids" `Quick test_traffic_flow_ids_unique;
+          Alcotest.test_case "validation" `Quick test_traffic_validation;
+        ] );
+      ( "datacenter",
+        [
+          Alcotest.test_case "candidates" `Quick test_candidates;
+          Alcotest.test_case "core classes" `Quick test_core_classes;
+          Alcotest.test_case "shared ToRs" `Quick test_shared_tors;
+          Alcotest.test_case "routes" `Quick test_routes;
+          Alcotest.test_case "all records" `Quick test_all_records;
+          Alcotest.test_case "names" `Quick test_names;
+        ] );
+    ]
