@@ -1,7 +1,8 @@
 (* The indaas command-line tool: structural and private independence
    audits from the shell.
 
-     indaas sia   --db deps.xml --servers S1,S2
+     indaas lint  --db deps.xml --graph --format json
+     indaas sia   --db deps.xml --servers S1,S2 [--strict]
      indaas pia   --provider A=a.txt --provider B=b.txt
      indaas topo  --k 16
      indaas case  network|hardware|software
@@ -17,6 +18,9 @@ module Fattree = Indaas_topology.Fattree
 module Scenario = Indaas.Scenario
 module Dot = Indaas_faultgraph.Dot
 module Table = Indaas_util.Table
+module Lint = Indaas_lint.Lint
+module Lint_reporter = Indaas_lint.Reporter
+module Diagnostic = Indaas_lint.Diagnostic
 open Cmdliner
 
 let read_file path =
@@ -25,7 +29,12 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let load_db path = Depdb.of_string (read_file path)
+let load_db path =
+  match Depdb.of_string (read_file path) with
+  | db -> db
+  | exception Failure msg ->
+      Printf.eprintf "indaas: cannot parse %s: %s\n" path msg;
+      exit 124
 
 (* --- shared arguments ------------------------------------------------- *)
 
@@ -87,14 +96,137 @@ let make_request servers required algorithm rounds prob =
   in
   Sia_audit.request ~required ?component_probability ~algorithm ~ranking servers
 
+(* --- indaas lint ------------------------------------------------------- *)
+
+let disable_arg =
+  Arg.(
+    value
+    & opt_all (list string) []
+    & info [ "disable" ] ~docv:"CODE[,CODE...]"
+        ~doc:"Suppress rules by error code, e.g. $(b,IND-D003). Repeatable.")
+
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Run the static linter over the database first and refuse to \
+           proceed when it reports error-severity findings.")
+
+(* --strict: lint the DB before auditing; errors refuse, warnings pass
+   through on stderr so reports stay pipeable. *)
+let enforce_strict ~strict ?(disable = []) db =
+  if strict then begin
+    let findings = Lint.lint_db ~disable db in
+    if Lint.errors findings <> [] then begin
+      prerr_endline (Lint_reporter.render findings);
+      prerr_endline "refusing to audit: the dependency database has lint errors";
+      exit 1
+    end
+    else if findings <> [] then
+      Printf.eprintf "lint: %s\n" (Lint_reporter.summary findings)
+  end
+
+let lint_cmd =
+  let run db graph servers required format disable rules =
+    let disable = List.concat disable in
+    if rules then begin
+      let t = Table.create [ "code"; "severity"; "title" ] in
+      List.iter
+        (fun (code, severity, title) ->
+          Table.add_row t [ code; Diagnostic.severity_to_string severity; title ])
+        Lint.registry;
+      Table.print t
+    end
+    else
+      match db with
+      | None ->
+          prerr_endline "indaas lint: --db is required (or use --rules)";
+          exit 124
+      | Some path ->
+          let db = load_db path in
+          let base =
+            [ Lint.Db db; Lint.Topology (Indaas_lint.Topo_rules.of_db db) ]
+          in
+          let findings =
+            if not graph then Lint.run ~disable base
+            else begin
+              let servers =
+                match servers with Some s -> s | None -> Depdb.machines db
+              in
+              match Builder.build db (Builder.spec ~required servers) with
+              | g -> Lint.run ~disable (base @ [ Lint.Fault_graph g ])
+              | exception Invalid_argument msg ->
+                  let g007 =
+                    if List.mem "IND-G007" disable then []
+                    else [ Lint.construction_failure msg ]
+                  in
+                  List.sort_uniq Diagnostic.compare
+                    (Lint.run ~disable base @ g007)
+            end
+          in
+          (match format with
+          | `Table -> print_endline (Lint_reporter.render findings)
+          | `Json ->
+              print_endline
+                (Indaas_util.Json.to_string ~indent:true
+                   (Lint_reporter.to_json findings)));
+          exit (Lint_reporter.exit_code findings)
+  in
+  let db_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "db" ] ~docv:"FILE"
+          ~doc:"Dependency database in the Table 1 wire format.")
+  in
+  let graph_arg =
+    Arg.(
+      value & flag
+      & info [ "graph" ]
+          ~doc:
+            "Also build the deployment fault graph (over --servers, or every \
+             machine in the database) and run the fault-graph rules on it.")
+  in
+  let servers_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "servers" ] ~docv:"S1,S2,..."
+          ~doc:"Servers for the --graph deployment (default: all machines).")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+      & info [ "format" ] ~docv:"FMT" ~doc:"$(b,table) or $(b,json).")
+  in
+  let rules_arg =
+    Arg.(
+      value & flag
+      & info [ "rules" ] ~doc:"List every registered rule and exit.")
+  in
+  let term =
+    Term.(
+      const run $ db_arg $ graph_arg $ servers_arg $ required_arg $ format_arg
+      $ disable_arg $ rules_arg)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically check dependency data, fault graphs and topologies \
+          without running an audit.")
+    term
+
 (* --- indaas sia -------------------------------------------------------- *)
 
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
 
 let sia_cmd =
-  let run db servers required algorithm rounds prob json seed =
+  let run db servers required algorithm rounds prob json seed strict disable =
     let db = load_db db in
+    enforce_strict ~strict ~disable:(List.concat disable) db;
     let rng = Indaas_util.Prng.of_int seed in
     let request = make_request servers required algorithm rounds prob in
     let report = Sia_audit.audit ~rng db request in
@@ -114,7 +246,7 @@ let sia_cmd =
   let term =
     Term.(
       const run $ db_arg $ servers_arg $ required_arg $ algorithm_arg
-      $ rounds_arg $ prob_arg $ json_arg $ seed_arg)
+      $ rounds_arg $ prob_arg $ json_arg $ seed_arg $ strict_arg $ disable_arg)
   in
   Cmd.v
     (Cmd.info "sia" ~doc:"Structural independence audit of one deployment.")
@@ -311,8 +443,9 @@ let case_cmd =
 (* --- indaas dot ----------------------------------------------------------------- *)
 
 let dot_cmd =
-  let run db servers required output =
+  let run db servers required output strict disable =
     let db = load_db db in
+    enforce_strict ~strict ~disable:(List.concat disable) db;
     let graph = Builder.build db (Builder.spec ~required servers) in
     match output with
     | None -> print_string (Dot.to_dot graph)
@@ -328,7 +461,9 @@ let dot_cmd =
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Export a deployment's fault graph in Graphviz format.")
-    Term.(const run $ db_arg $ servers_arg $ required_arg $ output_arg)
+    Term.(
+      const run $ db_arg $ servers_arg $ required_arg $ output_arg $ strict_arg
+      $ disable_arg)
 
 (* --- indaas importance ------------------------------------------------------------ *)
 
@@ -472,5 +607,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ sia_cmd; compare_cmd; pia_cmd; topo_cmd; case_cmd; dot_cmd; gen_cmd;
-            coverage_cmd; importance_cmd ]))
+          [ lint_cmd; sia_cmd; compare_cmd; pia_cmd; topo_cmd; case_cmd;
+            dot_cmd; gen_cmd; coverage_cmd; importance_cmd ]))

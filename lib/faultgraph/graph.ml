@@ -65,16 +65,24 @@ module Builder = struct
      VM appears both as an instance failure leaf and as the gate
      aggregating its dependencies. *)
   let add_gate b ~name gate children =
-    if children = [] then invalid_arg "Builder.add_gate: no children";
+    if children = [] then
+      invalid_arg
+        (Printf.sprintf "Builder.add_gate: gate %S has no children" name);
     let n_children = List.length children in
     (match gate with
     | Kofn k when k < 1 || k > n_children ->
-        invalid_arg "Builder.add_gate: k out of range"
+        invalid_arg
+          (Printf.sprintf
+             "Builder.add_gate: gate %S requires %d of %d children (k must be \
+              within [1, %d])"
+             name k n_children n_children)
     | Kofn _ | And | Or -> ());
     List.iter
       (fun c ->
         if c < 0 || c >= b.count then
-          invalid_arg "Builder.add_gate: unknown child id")
+          invalid_arg
+            (Printf.sprintf
+               "Builder.add_gate: gate %S references unknown child id %d" name c))
       children;
     let id = b.count in
     b.count <- id + 1;

@@ -1,0 +1,241 @@
+module Depdb = Indaas_depdata.Depdb
+module Dependency = Indaas_depdata.Dependency
+module D = Diagnostic
+
+let network_records db =
+  List.filter_map
+    (function Dependency.Network n -> Some n | _ -> None)
+    (Depdb.records db)
+
+let software_records db =
+  List.filter_map
+    (function Dependency.Software s -> Some s | _ -> None)
+    (Depdb.records db)
+
+(* --- IND-D001: dangling software host ------------------------------- *)
+
+let dangling_host =
+  Rule.make ~code:"IND-D001" ~severity:D.Error
+    ~title:
+      "software record hosted on a machine with no hardware or network records"
+    (fun db ->
+      List.filter_map
+        (fun (s : Dependency.software) ->
+          if
+            Depdb.hardware_of db ~machine:s.Dependency.host = []
+            && Depdb.network_paths db ~src:s.Dependency.host = []
+          then
+            Some
+              (D.make ~code:"IND-D001" ~severity:D.Error
+                 ~location:(D.Record (Dependency.Software s))
+                 (Printf.sprintf
+                    "program %S runs on machine %S, but no hardware or \
+                     network record describes that machine"
+                    s.Dependency.pgm s.Dependency.host))
+          else None)
+        (software_records db))
+
+(* --- IND-D002: degenerate routes ------------------------------------ *)
+
+let degenerate_route =
+  Rule.make ~code:"IND-D002" ~severity:D.Warning
+    ~title:"empty or self-referential network route"
+    (fun db ->
+      List.concat_map
+        (fun (n : Dependency.network) ->
+          let loc = D.Record (Dependency.Network n) in
+          let empty =
+            if n.Dependency.route = [] then
+              [
+                D.make ~code:"IND-D002" ~severity:D.Warning ~location:loc
+                  (Printf.sprintf
+                     "route %s -> %s has no intermediate devices; fault-graph \
+                      construction drops the whole network gate of %S"
+                     n.Dependency.src n.Dependency.dst n.Dependency.src);
+              ]
+            else []
+          in
+          let self =
+            List.filter_map
+              (fun endpoint ->
+                if List.mem endpoint n.Dependency.route then
+                  Some
+                    (D.make ~code:"IND-D002" ~severity:D.Warning ~location:loc
+                       (Printf.sprintf
+                          "route %s -> %s passes through its own endpoint %S"
+                          n.Dependency.src n.Dependency.dst endpoint))
+                else None)
+              [ n.Dependency.src; n.Dependency.dst ]
+          in
+          empty @ self)
+        (network_records db))
+
+(* --- IND-D003: duplicate or conflicting routes ----------------------- *)
+
+module SS = Set.Make (String)
+
+let duplicate_routes =
+  Rule.make ~code:"IND-D003" ~severity:D.Warning
+    ~title:"duplicate device on a route, or two routes over the same device set"
+    (fun db ->
+      let repeated =
+        List.filter_map
+          (fun (n : Dependency.network) ->
+            let dups =
+              List.filter
+                (fun d ->
+                  List.length (List.filter (String.equal d) n.Dependency.route) > 1)
+                (SS.elements (SS.of_list n.Dependency.route))
+            in
+            match dups with
+            | [] -> None
+            | d :: _ ->
+                Some
+                  (D.make ~code:"IND-D003" ~severity:D.Warning
+                     ~location:(D.Record (Dependency.Network n))
+                     (Printf.sprintf "route %s -> %s lists device %S twice"
+                        n.Dependency.src n.Dependency.dst d)))
+          (network_records db)
+      in
+      (* Two records for the same (src, dst) with equal device sets:
+         they cannot be distinct redundant paths, so the AND over
+         paths is weaker than the data suggests. *)
+      let seen = Hashtbl.create 16 in
+      let conflicting =
+        List.filter_map
+          (fun (n : Dependency.network) ->
+            let key =
+              ( n.Dependency.src,
+                n.Dependency.dst,
+                SS.elements (SS.of_list n.Dependency.route) )
+            in
+            if Hashtbl.mem seen key then
+              Some
+                (D.make ~code:"IND-D003" ~severity:D.Warning
+                   ~location:(D.Record (Dependency.Network n))
+                   (Printf.sprintf
+                      "route %s -> %s traverses the same device set as an \
+                       earlier record; it adds no path redundancy"
+                      n.Dependency.src n.Dependency.dst))
+            else begin
+              Hashtbl.add seen key ();
+              None
+            end)
+          (network_records db)
+      in
+      repeated @ conflicting)
+
+(* --- IND-D004: cyclic software dependencies --------------------------- *)
+
+let software_cycles =
+  Rule.make ~code:"IND-D004" ~severity:D.Error
+    ~title:"cyclic software dependencies"
+    (fun db ->
+      (* Edges pgm -> dep, restricted to deps that are themselves
+         recorded programs. Colored DFS; each cycle is reported once,
+         keyed by its member set. *)
+      let sw = software_records db in
+      let is_pgm p = Depdb.software_named db ~pgm:p <> [] in
+      let adj = Hashtbl.create 16 in
+      List.iter
+        (fun (s : Dependency.software) ->
+          let deps = List.filter is_pgm s.Dependency.deps in
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt adj s.Dependency.pgm)
+          in
+          Hashtbl.replace adj s.Dependency.pgm (prev @ deps))
+        sw;
+      let color = Hashtbl.create 16 in (* 1 = on stack, 2 = done *)
+      let reported = Hashtbl.create 4 in
+      let findings = ref [] in
+      let rec visit stack p =
+        match Hashtbl.find_opt color p with
+        | Some 2 -> ()
+        | Some _ ->
+            (* Back edge: the cycle is the stack suffix from [p]. *)
+            let rec take acc = function
+              | [] -> acc
+              | q :: rest -> if q = p then q :: acc else take (q :: acc) rest
+            in
+            let cycle = take [] stack in
+            let key = List.sort compare cycle in
+            if not (Hashtbl.mem reported key) then begin
+              Hashtbl.add reported key ();
+              let loc =
+                match Depdb.software_named db ~pgm:p with
+                | s :: _ -> D.Record (Dependency.Software s)
+                | [] -> D.Machine p
+              in
+              findings :=
+                D.make ~code:"IND-D004" ~severity:D.Error ~location:loc
+                  (Printf.sprintf "cyclic software dependency: %s -> %s"
+                     (String.concat " -> " cycle) p)
+                :: !findings
+            end
+        | None ->
+            Hashtbl.replace color p 1;
+            List.iter
+              (visit (p :: stack))
+              (Option.value ~default:[] (Hashtbl.find_opt adj p));
+            Hashtbl.replace color p 2
+      in
+      List.iter (fun (s : Dependency.software) -> visit [] s.Dependency.pgm) sw;
+      List.rev !findings)
+
+(* --- IND-D005: machine with no usable dependency gate ------------------ *)
+
+let unbuildable_machine =
+  Rule.make ~code:"IND-D005" ~severity:D.Error
+    ~title:"machine whose records yield no usable dependency gate"
+    (fun db ->
+      List.filter_map
+        (fun machine ->
+          let hw = Depdb.hardware_of db ~machine in
+          let sw = Depdb.software_on db ~machine in
+          let paths = Depdb.network_paths db ~src:machine in
+          let network_usable =
+            paths <> []
+            && List.for_all
+                 (fun (n : Dependency.network) -> n.Dependency.route <> [])
+                 paths
+          in
+          if hw = [] && sw = [] && not network_usable then
+            Some
+              (D.make ~code:"IND-D005" ~severity:D.Error
+                 ~location:(D.Machine machine)
+                 (Printf.sprintf
+                    "machine %S has no hardware, software or complete network \
+                     dependencies; building its fault graph raises instead of \
+                     auditing"
+                    machine))
+          else None)
+        (Depdb.machines db))
+
+(* --- IND-D006: program with no recorded packages ----------------------- *)
+
+let leaf_program =
+  Rule.make ~code:"IND-D006" ~severity:D.Hint
+    ~title:"software record with an empty dependency list"
+    (fun db ->
+      List.filter_map
+        (fun (s : Dependency.software) ->
+          if s.Dependency.deps = [] then
+            Some
+              (D.make ~code:"IND-D006" ~severity:D.Hint
+                 ~location:(D.Record (Dependency.Software s))
+                 (Printf.sprintf
+                    "program %S has no recorded package dependencies; it is \
+                     modelled as its own failure leaf"
+                    s.Dependency.pgm))
+          else None)
+        (software_records db))
+
+let rules =
+  [
+    dangling_host;
+    degenerate_route;
+    duplicate_routes;
+    software_cycles;
+    unbuildable_machine;
+    leaf_program;
+  ]

@@ -1,0 +1,22 @@
+(** Static checks over a dependency database (paper §3, Table 1) —
+    referential integrity between network, hardware and software
+    records, route sanity, and dependency-cycle detection. None of
+    them builds a fault graph or runs an audit.
+
+    Codes and default severities:
+    - [IND-D001] (error) dangling software host: a software record's
+      machine has neither hardware nor network records.
+    - [IND-D002] (warning) degenerate route: an empty route (which
+      silently disables the server's whole network AND-gate during
+      fault-graph construction) or a route that passes through its own
+      endpoint.
+    - [IND-D003] (warning) duplicate or conflicting routes: the same
+      device recorded twice on one route, or two records for the same
+      (src, dst) pair traversing the same device set.
+    - [IND-D004] (error) cyclic software dependencies.
+    - [IND-D005] (error) machine with no usable dependency gate: fault
+      graph construction for it raises instead of producing a graph.
+    - [IND-D006] (hint) software record with no package dependencies
+      (the program becomes its own failure leaf). *)
+
+val rules : Indaas_depdata.Depdb.t Rule.t list

@@ -1,0 +1,133 @@
+module Dependency = Indaas_depdata.Dependency
+module Json = Indaas_util.Json
+
+type severity = Error | Warning | Hint
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "hint"
+
+let severity_of_string = function
+  | "error" -> Error
+  | "warning" -> Warning
+  | "hint" -> Hint
+  | s -> failwith (Printf.sprintf "Diagnostic.severity_of_string: %S" s)
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Hint -> 2
+
+type location =
+  | Record of Dependency.t
+  | Node of { id : int; name : string }
+  | Machine of string
+  | Link of string * string
+  | Whole
+
+type t = {
+  code : string;
+  severity : severity;
+  message : string;
+  location : location;
+}
+
+let make ~code ~severity ~location message =
+  { code; severity; message; location }
+
+let location_to_string = function
+  | Record r -> "record " ^ Dependency.to_xml r
+  | Node { id; name } -> Printf.sprintf "node %d %S" id name
+  | Machine m -> Printf.sprintf "machine %S" m
+  | Link (a, b) -> Printf.sprintf "link %S-%S" a b
+  | Whole -> "-"
+
+let compare_location a b =
+  let tag = function
+    | Record _ -> 0
+    | Node _ -> 1
+    | Machine _ -> 2
+    | Link _ -> 3
+    | Whole -> 4
+  in
+  match (a, b) with
+  | Record r1, Record r2 -> Dependency.compare r1 r2
+  | Node n1, Node n2 -> compare (n1.id, n1.name) (n2.id, n2.name)
+  | Machine m1, Machine m2 -> String.compare m1 m2
+  | Link (a1, b1), Link (a2, b2) -> compare (a1, b1) (a2, b2)
+  | Whole, Whole -> 0
+  | _ -> compare (tag a) (tag b)
+
+let compare a b =
+  match compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> (
+      match String.compare a.code b.code with
+      | 0 -> (
+          match compare_location a.location b.location with
+          | 0 -> String.compare a.message b.message
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp fmt d =
+  Format.fprintf fmt "%s %s @ %s: %s" d.code
+    (severity_to_string d.severity)
+    (location_to_string d.location)
+    d.message
+
+let location_to_json = function
+  | Record r ->
+      Json.Obj [ ("kind", Json.String "record");
+                 ("record", Json.String (Dependency.to_xml r)) ]
+  | Node { id; name } ->
+      Json.Obj [ ("kind", Json.String "node");
+                 ("id", Json.Int id);
+                 ("name", Json.String name) ]
+  | Machine m ->
+      Json.Obj [ ("kind", Json.String "machine");
+                 ("name", Json.String m) ]
+  | Link (a, b) ->
+      Json.Obj [ ("kind", Json.String "link");
+                 ("from", Json.String a);
+                 ("to", Json.String b) ]
+  | Whole -> Json.Obj [ ("kind", Json.String "whole") ]
+
+let location_of_json j =
+  match Json.to_string_exn "kind" (Json.member "kind" j) with
+  | "record" ->
+      Record (Dependency.of_xml (Json.to_string_exn "record" (Json.member "record" j)))
+  | "node" ->
+      Node
+        {
+          id = Json.to_int_exn "id" (Json.member "id" j);
+          name = Json.to_string_exn "name" (Json.member "name" j);
+        }
+  | "machine" -> Machine (Json.to_string_exn "name" (Json.member "name" j))
+  | "link" ->
+      Link
+        ( Json.to_string_exn "from" (Json.member "from" j),
+          Json.to_string_exn "to" (Json.member "to" j) )
+  | "whole" -> Whole
+  | k -> failwith (Printf.sprintf "Diagnostic.location_of_json: kind %S" k)
+
+let to_json d =
+  Json.Obj
+    [
+      ("code", Json.String d.code);
+      ("severity", Json.String (severity_to_string d.severity));
+      ("message", Json.String d.message);
+      ("location", location_to_json d.location);
+    ]
+
+let of_json j =
+  match Json.member "location" j with
+  | None -> failwith "Diagnostic.of_json: missing location"
+  | Some loc ->
+      {
+        code = Json.to_string_exn "code" (Json.member "code" j);
+        severity =
+          severity_of_string
+            (Json.to_string_exn "severity" (Json.member "severity" j));
+        message = Json.to_string_exn "message" (Json.member "message" j);
+        location = location_of_json loc;
+      }

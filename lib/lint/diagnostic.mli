@@ -1,0 +1,57 @@
+(** Lint findings — the currency of the static-analysis engine.
+
+    Every check emits zero or more diagnostics. A diagnostic carries a
+    {e stable} error code (e.g. [IND-D004]) so reports can be filtered,
+    suppressed and documented; a severity; a human message; and a
+    structured location pointing at the offending dependency record,
+    fault-graph node, machine or link. *)
+
+type severity = Error | Warning | Hint
+
+val severity_to_string : severity -> string
+(** ["error"], ["warning"], ["hint"]. *)
+
+val severity_of_string : string -> severity
+(** Inverse of {!severity_to_string}; raises [Failure] otherwise. *)
+
+val severity_rank : severity -> int
+(** [Error] ranks 0 (most severe), then [Warning], then [Hint]. *)
+
+(** Where a finding points. [Record] carries the offending dependency
+    record itself (re-rendered in the Table 1 wire format for
+    display); [Node] a fault-graph node; [Machine] a machine or
+    component identifier; [Link] an attachment or adjacency; [Whole]
+    the artifact as a whole. *)
+type location =
+  | Record of Indaas_depdata.Dependency.t
+  | Node of { id : int; name : string }
+  | Machine of string
+  | Link of string * string
+  | Whole
+
+type t = {
+  code : string;  (** stable identifier, [IND-<area><number>] *)
+  severity : severity;
+  message : string;
+  location : location;
+}
+
+val make : code:string -> severity:severity -> location:location -> string -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Orders by severity (errors first), then code, then location, then
+    message — the order reports are rendered in. *)
+
+val location_to_string : location -> string
+(** Short display form, e.g. [record <pgm="Riak1" .../>] or
+    [node 3 "ToR1"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** [IND-D004 error @ <loc>: <message>]. *)
+
+val to_json : t -> Indaas_util.Json.t
+val of_json : Indaas_util.Json.t -> t
+(** Inverse of {!to_json}; raises [Indaas_util.Json.Parse_error] or
+    [Failure] on malformed input. [of_json (to_json d) = d] for every
+    diagnostic. *)

@@ -1,0 +1,39 @@
+module D = Diagnostic
+
+type target =
+  | Db of Indaas_depdata.Depdb.t
+  | Fault_graph of Indaas_faultgraph.Graph.t
+  | Graph_view of Graph_rules.view
+  | Topology of Topo_rules.view
+
+let construction_failure msg =
+  D.make ~code:"IND-G007" ~severity:D.Error ~location:D.Whole
+    (Printf.sprintf "fault-graph construction failed: %s" msg)
+
+let g007_registry_row =
+  ("IND-G007", D.Error, "fault-graph construction raised instead of building")
+
+let registry =
+  List.map Rule.describe Depdb_rules.rules
+  @ List.map Rule.describe Graph_rules.rules
+  @ [ g007_registry_row ]
+  @ List.map Rule.describe Topo_rules.rules
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let run ?(disable = []) targets =
+  let disabled code = List.mem code disable in
+  List.concat_map
+    (fun target ->
+      match target with
+      | Db db -> Rule.apply ~disabled Depdb_rules.rules db
+      | Fault_graph g ->
+          Rule.apply ~disabled Graph_rules.rules (Graph_rules.of_graph g)
+      | Graph_view view -> Rule.apply ~disabled Graph_rules.rules view
+      | Topology view -> Rule.apply ~disabled Topo_rules.rules view)
+    targets
+  |> List.sort_uniq D.compare
+
+let lint_db ?disable db =
+  run ?disable [ Db db; Topology (Topo_rules.of_db db) ]
+
+let errors ds = List.filter (fun d -> d.D.severity = D.Error) ds

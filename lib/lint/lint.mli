@@ -1,0 +1,37 @@
+(** The lint engine entry point: run the registered static checks
+    over dependency databases, fault graphs and topologies — without
+    executing any audit.
+
+    The rule table is the concatenation of {!Depdb_rules.rules},
+    {!Graph_rules.rules} and {!Topo_rules.rules}; every rule is
+    individually suppressible by its stable code. *)
+
+type target =
+  | Db of Indaas_depdata.Depdb.t
+  | Fault_graph of Indaas_faultgraph.Graph.t
+  | Graph_view of Graph_rules.view
+      (** raw view, for graphs that never went through the builder *)
+  | Topology of Topo_rules.view
+
+val registry : (string * Diagnostic.severity * string) list
+(** Every registered rule as [(code, default severity, title)], in
+    code order — the linter's self-documentation. *)
+
+val run : ?disable:string list -> target list -> Diagnostic.t list
+(** Runs every applicable, non-disabled rule over every target and
+    returns the sorted, de-duplicated findings (errors first).
+    [disable] lists codes to suppress, e.g. [["IND-D003"]]; unknown
+    codes are ignored. *)
+
+val lint_db : ?disable:string list -> Indaas_depdata.Depdb.t -> Diagnostic.t list
+(** [run] over the database plus the topology its route records imply
+    — what [indaas lint --db] executes. *)
+
+val construction_failure : string -> Diagnostic.t
+(** The [IND-G007] finding: fault-graph construction raised instead
+    of producing a graph. Callers that build graphs from lint targets
+    catch [Invalid_argument]/[Failure] and turn the message into this
+    diagnostic. *)
+
+val errors : Diagnostic.t list -> Diagnostic.t list
+(** The error-severity findings only. *)

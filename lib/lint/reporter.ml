@@ -1,0 +1,52 @@
+module Table = Indaas_util.Table
+module Json = Indaas_util.Json
+module D = Diagnostic
+
+let sorted ds = List.sort_uniq D.compare ds
+
+let count severity ds =
+  List.length (List.filter (fun d -> d.D.severity = severity) ds)
+
+let summary ds =
+  let plural n what = Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s") in
+  Printf.sprintf "%s, %s, %s"
+    (plural (count D.Error ds) "error")
+    (plural (count D.Warning ds) "warning")
+    (plural (count D.Hint ds) "hint")
+
+let render ds =
+  match sorted ds with
+  | [] -> "no findings"
+  | ds ->
+      let t =
+        Table.create
+          ~aligns:[ Table.Left; Table.Left; Table.Left; Table.Left ]
+          [ "code"; "severity"; "location"; "message" ]
+      in
+      List.iter
+        (fun d ->
+          Table.add_row t
+            [
+              d.D.code;
+              D.severity_to_string d.D.severity;
+              D.location_to_string d.D.location;
+              d.D.message;
+            ])
+        ds;
+      Table.render t ^ "\n" ^ summary ds
+
+let to_json ds =
+  let ds = sorted ds in
+  Json.Obj
+    [
+      ( "summary",
+        Json.Obj
+          [
+            ("errors", Json.Int (count D.Error ds));
+            ("warnings", Json.Int (count D.Warning ds));
+            ("hints", Json.Int (count D.Hint ds));
+          ] );
+      ("diagnostics", Json.List (List.map D.to_json ds));
+    ]
+
+let exit_code ds = if List.exists (fun d -> d.D.severity = D.Error) ds then 1 else 0

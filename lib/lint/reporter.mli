@@ -1,0 +1,18 @@
+(** Rendering of lint findings: ASCII table for humans, JSON for
+    machines, and the severity-based process exit code. *)
+
+val render : Diagnostic.t list -> string
+(** Findings as a [code | severity | location | message] table
+    followed by a summary line; ["no findings"] when empty. The input
+    is sorted and de-duplicated first (errors lead). *)
+
+val summary : Diagnostic.t list -> string
+(** E.g. ["2 errors, 1 warning, 0 hints"]. *)
+
+val to_json : Diagnostic.t list -> Indaas_util.Json.t
+(** An object with a [summary] (per-severity counts) and the sorted
+    [diagnostics] array, each via {!Diagnostic.to_json}. *)
+
+val exit_code : Diagnostic.t list -> int
+(** [1] when any finding is an [Error], [0] otherwise — warnings and
+    hints never fail a run. *)

@@ -1,0 +1,23 @@
+type 'a t = {
+  code : string;
+  severity : Diagnostic.severity;
+  title : string;
+  check : 'a -> Diagnostic.t list;
+}
+
+let make ~code ~severity ~title check = { code; severity; title; check }
+
+let diag rule ?severity ~location fmt =
+  Printf.ksprintf
+    (fun message ->
+      Diagnostic.make ~code:rule.code
+        ~severity:(Option.value severity ~default:rule.severity)
+        ~location message)
+    fmt
+
+let apply ~disabled rules input =
+  List.concat_map
+    (fun rule -> if disabled rule.code then [] else rule.check input)
+    rules
+
+let describe rule = (rule.code, rule.severity, rule.title)

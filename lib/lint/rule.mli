@@ -1,0 +1,38 @@
+(** The rule registry backbone: a lint rule is a named, documented
+    check over one kind of input, producing {!Diagnostic.t}s that all
+    carry the rule's stable code and default severity.
+
+    Rules are first-class values so the rule table is extensible (new
+    checks register by appearing in a list) and individually
+    suppressible ([--disable IND-D003] filters by code without
+    touching the table). *)
+
+type 'a t = {
+  code : string;  (** stable, e.g. [IND-D001] *)
+  severity : Diagnostic.severity;  (** severity of its findings *)
+  title : string;  (** one-line summary for registry listings *)
+  check : 'a -> Diagnostic.t list;
+}
+
+val make :
+  code:string ->
+  severity:Diagnostic.severity ->
+  title:string ->
+  ('a -> Diagnostic.t list) ->
+  'a t
+
+val diag :
+  'a t ->
+  ?severity:Diagnostic.severity ->
+  location:Diagnostic.location ->
+  ('b, unit, string, Diagnostic.t) format4 ->
+  'b
+(** [diag rule ~location fmt ...] builds a finding stamped with the
+    rule's code and (default) severity. *)
+
+val apply : disabled:(string -> bool) -> 'a t list -> 'a -> Diagnostic.t list
+(** Runs every non-disabled rule of the table over the input and
+    concatenates the findings. *)
+
+val describe : 'a t -> string * Diagnostic.severity * string
+(** [(code, severity, title)] — one registry row. *)

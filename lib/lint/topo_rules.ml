@@ -1,0 +1,120 @@
+module Depdb = Indaas_depdata.Depdb
+module Dependency = Indaas_depdata.Dependency
+module Fattree = Indaas_topology.Fattree
+module D = Diagnostic
+
+type view = { hosts : (string * string list list) list }
+
+let of_db db =
+  let hosts =
+    List.filter_map
+      (fun machine ->
+        match Depdb.network_paths db ~src:machine with
+        | [] -> None
+        | paths ->
+            Some
+              ( machine,
+                List.map (fun (n : Dependency.network) -> n.Dependency.route) paths
+              ))
+      (Depdb.machines db)
+  in
+  { hosts }
+
+let of_fattree t =
+  let hosts =
+    List.init (Fattree.server_count t) (fun s ->
+        (Fattree.server_name t s, Fattree.routes_to_core t ~server:s))
+  in
+  { hosts }
+
+(* --- IND-T001: partitioned topology ------------------------------------ *)
+
+(* Union-find over host and device names. *)
+let components view =
+  let parent = Hashtbl.create 64 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | None ->
+        Hashtbl.replace parent x x;
+        x
+    | Some p when p = x -> x
+    | Some p ->
+        let root = find p in
+        Hashtbl.replace parent x root;
+        root
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent ra rb
+  in
+  List.iter
+    (fun (host, routes) ->
+      ignore (find host);
+      List.iter
+        (fun route ->
+          ignore
+            (List.fold_left
+               (fun prev device ->
+                 union prev device;
+                 device)
+               host route))
+        routes)
+    view.hosts;
+  let groups = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun x _ ->
+      let root = find x in
+      let members = Option.value ~default:[] (Hashtbl.find_opt groups root) in
+      Hashtbl.replace groups root (x :: members))
+    parent;
+  Hashtbl.fold (fun _ members acc -> List.sort compare members :: acc) groups []
+  |> List.sort compare
+
+let partitioned =
+  Rule.make ~code:"IND-T001" ~severity:D.Warning
+    ~title:"network topology splits into disconnected islands"
+    (fun view ->
+      match components view with
+      | [] | [ _ ] -> []
+      | main :: rest ->
+          let show members =
+            let shown = List.filteri (fun i _ -> i < 4) members in
+            String.concat ", " shown
+            ^ if List.length members > 4 then ", ..." else ""
+          in
+          List.map
+            (fun members ->
+              D.make ~code:"IND-T001" ~severity:D.Warning
+                ~location:(D.Machine (List.hd members))
+                (Printf.sprintf
+                   "island {%s} has no recorded link to {%s}; the topology is \
+                    partitioned"
+                   (show members) (show main)))
+            rest)
+
+(* --- IND-T002: duplicate host attachments -------------------------------- *)
+
+module SS = Set.Make (String)
+
+let duplicate_attachment =
+  Rule.make ~code:"IND-T002" ~severity:D.Warning
+    ~title:"host attached to more than one first-hop switch"
+    (fun view ->
+      List.filter_map
+        (fun (host, routes) ->
+          let first_hops =
+            SS.elements
+              (SS.of_list (List.filter_map (function [] -> None | d :: _ -> Some d) routes))
+          in
+          match first_hops with
+          | [] | [ _ ] -> None
+          | hops ->
+              Some
+                (D.make ~code:"IND-T002" ~severity:D.Warning
+                   ~location:(D.Machine host)
+                   (Printf.sprintf
+                      "host %S attaches to %d distinct first-hop switches (%s)"
+                      host (List.length hops) (String.concat ", " hops))))
+        view.hosts)
+
+let rules = [ partitioned; duplicate_attachment ]

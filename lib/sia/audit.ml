@@ -38,6 +38,7 @@ type deployment_report = {
   independence_score : float;
   failure_probability : float option;
   expected_rg_size : int;
+  diagnostics : Indaas_lint.Diagnostic.t list;
 }
 
 let determine_rgs rng algorithm graph =
@@ -62,6 +63,14 @@ let audit ?(rng = Prng.of_int 0xD1CE) db request =
           Some (Rank.top_probability rng graph rgs) )
   in
   let expected_rg_size = Builder.expected_rg_size request.spec in
+  (* Structural pre-checks ride along with every report (hints are
+     noise at this level: built graphs legitimately contain
+     single-child pass-through gates). *)
+  let diagnostics =
+    Indaas_lint.Lint.run [ Indaas_lint.Lint.Fault_graph graph ]
+    |> List.filter (fun d ->
+           d.Indaas_lint.Diagnostic.severity <> Indaas_lint.Diagnostic.Hint)
+  in
   {
     servers = request.spec.Builder.servers;
     graph;
@@ -70,6 +79,7 @@ let audit ?(rng = Prng.of_int 0xD1CE) db request =
     independence_score = score;
     failure_probability;
     expected_rg_size;
+    diagnostics;
   }
 
 let compare_reports a b =

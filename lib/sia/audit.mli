@@ -51,6 +51,10 @@ type deployment_report = {
   failure_probability : float option;
       (** [Pr(T)] when probability ranking was used *)
   expected_rg_size : int;
+  diagnostics : Indaas_lint.Diagnostic.t list;
+      (** static-analysis findings over the deployment's fault graph
+          (error and warning severities; hints are dropped) — the
+          linter's structural pre-checks attached to every report *)
 }
 
 val audit :

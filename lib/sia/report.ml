@@ -1,4 +1,5 @@
 module Table = Indaas_util.Table
+module Lint_diagnostic = Indaas_lint.Diagnostic
 
 let braces names = "{" ^ String.concat ", " names ^ "}"
 
@@ -23,6 +24,13 @@ let render_deployment ?(max_rgs = 20) (r : Audit.deployment_report) =
   (match r.Audit.failure_probability with
   | Some p -> Buffer.add_string buf (Printf.sprintf "  Pr(deployment fails): %.6g\n" p)
   | None -> ());
+  List.iter
+    (fun d ->
+      Buffer.add_string buf
+        (Printf.sprintf "  lint: %s %s: %s\n" d.Lint_diagnostic.code
+           (Lint_diagnostic.severity_to_string d.Lint_diagnostic.severity)
+           d.Lint_diagnostic.message))
+    r.Audit.diagnostics;
   let t =
     Table.create
       ~aligns:[ Table.Right; Table.Left; Table.Right; Table.Right; Table.Right ]
@@ -109,6 +117,8 @@ let deployment_to_json (r : Audit.deployment_report) =
         match r.Audit.failure_probability with
         | Some p -> Json.Float p
         | None -> Json.Null );
+      ( "diagnostics",
+        Json.List (List.map Lint_diagnostic.to_json r.Audit.diagnostics) );
     ]
 
 let comparison_to_json reports =

@@ -78,3 +78,198 @@ let to_string ?(indent = false) value =
   in
   emit 0 value;
   Buffer.contents buf
+
+(* --- parsing ---------------------------------------------------------- *)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+(* Recursive-descent parser over the string; [pos] is the cursor. Kept
+   deliberately strict: it accepts exactly RFC 8259 JSON, which is all
+   {!to_string} ever emits. *)
+let of_string s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < len
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> parse_error "Json.of_string: expected %C at %d, got %C" c !pos c'
+    | None -> parse_error "Json.of_string: expected %C, got end of input" c
+  in
+  let expect_word w value =
+    if !pos + String.length w <= len && String.sub s !pos (String.length w) = w
+    then begin
+      pos := !pos + String.length w;
+      value
+    end
+    else parse_error "Json.of_string: invalid literal at %d" !pos
+  in
+  let add_utf8 buf code =
+    (* \uXXXX escapes decode to UTF-8 bytes (no surrogate pairing:
+       reports never contain astral-plane characters). *)
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= len then parse_error "Json.of_string: unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        (if !pos >= len then parse_error "Json.of_string: unterminated escape";
+         let e = s.[!pos] in
+         advance ();
+         match e with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\012'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'u' ->
+             if !pos + 4 > len then
+               parse_error "Json.of_string: truncated \\u escape";
+             let hex = String.sub s !pos 4 in
+             pos := !pos + 4;
+             let code =
+               match int_of_string_opt ("0x" ^ hex) with
+               | Some c -> c
+               | None -> parse_error "Json.of_string: bad \\u escape %S" hex
+             in
+             add_utf8 buf code
+         | e -> parse_error "Json.of_string: bad escape \\%c" e);
+        loop ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    if peek () = Some '-' then advance ();
+    while
+      !pos < len
+      &&
+      match s.[!pos] with
+      | '0' .. '9' -> true
+      | '.' | 'e' | 'E' | '+' | '-' ->
+          is_float := true;
+          true
+      | _ -> false
+    do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> parse_error "Json.of_string: bad number %S" text
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+          (* Integer literal too wide for [int]: keep it as a float. *)
+          match float_of_string_opt text with
+          | Some f -> Float f
+          | None -> parse_error "Json.of_string: bad number %S" text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> parse_error "Json.of_string: empty input"
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> expect_word "true" (Bool true)
+    | Some 'f' -> expect_word "false" (Bool false)
+    | Some 'n' -> expect_word "null" Null
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (key, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | Some '-' | Some ('0' .. '9') -> parse_number ()
+    | Some c -> parse_error "Json.of_string: unexpected %C at %d" c !pos
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then
+    parse_error "Json.of_string: trailing garbage at %d" !pos;
+  v
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_string_exn name = function
+  | Some (String s) -> s
+  | _ -> parse_error "Json: expected string field %S" name
+
+let to_int_exn name = function
+  | Some (Int i) -> i
+  | _ -> parse_error "Json: expected int field %S" name

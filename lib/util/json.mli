@@ -21,3 +21,27 @@ val to_string : ?indent:bool -> t -> string
 
 val escape_string : string -> string
 (** The quoted, escaped form of a string literal. *)
+
+(** {1 Parsing}
+
+    A strict RFC 8259 recursive-descent parser, added so diagnostics
+    (and other machine-readable reports) can be round-tripped in
+    tests and consumed back from files. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parses one JSON document. Numbers without [.]/[e] parse as {!Int},
+    all others as {!Float}; [\u] escapes decode to UTF-8. Raises
+    {!Parse_error} on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** [member key json] is the field [key] of an {!Obj}, [None] when
+    absent or when [json] is not an object. *)
+
+val to_string_exn : string -> t option -> string
+(** [to_string_exn name field] unwraps [Some (String s)]; raises
+    {!Parse_error} mentioning [name] otherwise. Decoder helper. *)
+
+val to_int_exn : string -> t option -> int
+(** Same for integers. *)

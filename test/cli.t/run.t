@@ -21,6 +21,8 @@ switch and libc6 and exits 2:
     risk groups: 4 (expected minimal size 2)
     unexpected RGs: 2
     independence score: 6
+    lint: IND-G006 warning: component "ToR1" alone fails the whole deployment (size-1 risk group)
+    lint: IND-G006 warning: component "libc6" alone fails the whole deployment (size-1 risk group)
   +------+--------------------+------+-------+------------+
   | rank | risk group         | size | Pr(C) | importance |
   +------+--------------------+------+-------+------------+
@@ -141,7 +143,8 @@ Machine-readable output:
       ],
       "unexpected": [],
       "independence_score": 2.0,
-      "failure_probability": null
+      "failure_probability": null,
+      "diagnostics": []
     }
   ]
 
@@ -156,3 +159,78 @@ Component importance (exact BDD probabilities):
   |    1 | swA       |      0.1 |              1 |
   |    2 | swB       |      0.1 |              1 |
   +------+-----------+----------+----------------+
+
+
+Static analysis. The Figure 2 database is structurally sound, so the
+linter stays silent at the database level:
+
+  $ indaas lint --db deps.xml
+  no findings
+
+With --graph it also builds the deployment fault graph and flags the
+shared ToR switch and libc6 as single points of failure before any
+audit runs (warnings do not fail the run):
+
+  $ indaas lint --db deps.xml --graph | grep IND-G006
+  | IND-G006 | warning  | node 0 "ToR1"         | component "ToR1" alone fails the whole deployment (size-1 risk group)  |
+  | IND-G006 | warning  | node 8 "libc6"        | component "libc6" alone fails the whole deployment (size-1 risk group) |
+
+A corrupted database: a program on a machine nobody recorded, a
+dependency cycle, an empty route, and conflicting duplicate paths:
+
+  $ cat > bad.xml <<'XML'
+  > <src="S1" dst="Internet" route="ToR1,Core1"/>
+  > <src="S1" dst="Internet" route="Core1,ToR1"/>
+  > <src="Lonely" dst="Internet" route=""/>
+  > <hw="S1" type="Disk" dep="S1-disk"/>
+  > <pgm="A" hw="Ghost" dep="B"/>
+  > <pgm="B" hw="S1" dep="A"/>
+  > XML
+  $ indaas lint --db bad.xml
+  +----------+----------+------------------------------------------------------+----------------------------------------------------------------------------------------------------------------------------------+
+  | code     | severity | location                                             | message                                                                                                                          |
+  +----------+----------+------------------------------------------------------+----------------------------------------------------------------------------------------------------------------------------------+
+  | IND-D001 | error    | record <pgm="A" hw="Ghost" dep="B"/>                 | program "A" runs on machine "Ghost", but no hardware or network record describes that machine                                    |
+  | IND-D004 | error    | record <pgm="A" hw="Ghost" dep="B"/>                 | cyclic software dependency: A -> B -> A                                                                                          |
+  | IND-D005 | error    | machine "Lonely"                                     | machine "Lonely" has no hardware, software or complete network dependencies; building its fault graph raises instead of auditing |
+  | IND-D002 | warning  | record <src="Lonely" dst="Internet" route=""/>       | route Lonely -> Internet has no intermediate devices; fault-graph construction drops the whole network gate of "Lonely"          |
+  | IND-D003 | warning  | record <src="S1" dst="Internet" route="Core1,ToR1"/> | route S1 -> Internet traverses the same device set as an earlier record; it adds no path redundancy                              |
+  | IND-T001 | warning  | machine "Lonely"                                     | island {Lonely} has no recorded link to {Core1, S1, ToR1}; the topology is partitioned                                           |
+  | IND-T002 | warning  | machine "S1"                                         | host "S1" attaches to 2 distinct first-hop switches (Core1, ToR1)                                                                |
+  +----------+----------+------------------------------------------------------+----------------------------------------------------------------------------------------------------------------------------------+
+  3 errors, 4 warnings, 0 hints
+  [1]
+
+Rules are individually suppressible by code:
+
+  $ indaas lint --db bad.xml --disable IND-D001,IND-D004,IND-D005 --disable IND-T001,IND-T002,IND-D002,IND-D003
+  no findings
+
+Machine-readable findings:
+
+  $ indaas lint --db bad.xml --format json | head -8
+  {
+    "summary": {
+      "errors": 3,
+      "warnings": 4,
+      "hints": 0
+    },
+    "diagnostics": [
+      {
+
+--strict refuses to audit a database with lint errors and exits 1:
+
+  $ indaas sia --strict --db bad.xml --servers S1 2>&1 | tail -1
+  refusing to audit: the dependency database has lint errors
+  $ indaas dot --strict --db bad.xml --servers S1 >/dev/null 2>&1
+  [1]
+
+On a clean database --strict audits normally (warnings go to stderr):
+
+  $ indaas sia --strict --db deps.xml --servers S1,S2 >/dev/null; echo done
+  done
+
+The registry documents every stable error code:
+
+  $ indaas lint --rules | grep -c IND-
+  15

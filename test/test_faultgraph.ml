@@ -72,14 +72,21 @@ let test_builder_gate_validation () =
   let b = Graph.Builder.create () in
   let x = Graph.Builder.add_basic b "x" in
   Alcotest.check_raises "no children"
-    (Invalid_argument "Builder.add_gate: no children") (fun () ->
+    (Invalid_argument "Builder.add_gate: gate \"g\" has no children") (fun () ->
       ignore (Graph.Builder.add_gate b ~name:"g" Graph.Or []));
   Alcotest.check_raises "unknown child"
-    (Invalid_argument "Builder.add_gate: unknown child id") (fun () ->
-      ignore (Graph.Builder.add_gate b ~name:"g" Graph.Or [ 99 ]));
-  Alcotest.check_raises "k out of range"
-    (Invalid_argument "Builder.add_gate: k out of range") (fun () ->
-      ignore (Graph.Builder.add_gate b ~name:"g" (Graph.Kofn 2) [ x ]))
+    (Invalid_argument "Builder.add_gate: gate \"g\" references unknown child id 99")
+    (fun () -> ignore (Graph.Builder.add_gate b ~name:"g" Graph.Or [ 99 ]));
+  Alcotest.check_raises "k too large"
+    (Invalid_argument
+       "Builder.add_gate: gate \"g\" requires 2 of 1 children (k must be \
+        within [1, 1])") (fun () ->
+      ignore (Graph.Builder.add_gate b ~name:"g" (Graph.Kofn 2) [ x ]));
+  Alcotest.check_raises "k below one"
+    (Invalid_argument
+       "Builder.add_gate: gate \"g\" requires 0 of 1 children (k must be \
+        within [1, 1])") (fun () ->
+      ignore (Graph.Builder.add_gate b ~name:"g" (Graph.Kofn 0) [ x ]))
 
 let test_counts () =
   let g = figure_4a () in
