@@ -2,14 +2,20 @@
    audits from the shell.
 
      indaas lint  --db deps.xml --graph --format json
-     indaas sia   --db deps.xml --servers S1,S2 [--strict]
+     indaas sia   --db deps.xml --servers S1,S2 [--strict] [--fault db=drop:0.3]
      indaas pia   --provider A=a.txt --provider B=b.txt
      indaas topo  --k 16
      indaas case  network|hardware|software
+     indaas chaos --scenario sia-lab --plan crash-one --trials 10 --seed 42
      indaas dot   --db deps.xml --servers S1,S2 -o graph.dot
 *)
 
 module Depdb = Indaas_depdata.Depdb
+module Collectors = Indaas_depdata.Collectors
+module Agent = Indaas.Agent
+module Chaos = Indaas.Chaos
+module Fault = Indaas_resilience.Fault
+module Degradation = Indaas_resilience.Degradation
 module Sia_audit = Indaas_sia.Audit
 module Sia_report = Indaas_sia.Report
 module Builder = Indaas_sia.Builder
@@ -223,18 +229,96 @@ let lint_cmd =
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
 
+let fault_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "fault" ] ~docv:"TARGET=SPEC"
+        ~doc:
+          "Inject a fault while collecting the database, e.g. \
+           $(b,db=drop:0.3) or $(b,*=flaky:2). The database is served by a \
+           data source named $(b,db); the audit degrades instead of failing \
+           and the report carries the $(b,IND-R001) diagnostic. Repeatable.")
+
+let parse_fault_entries specs =
+  List.map
+    (fun s ->
+      match Fault.entry_of_string s with
+      | entry -> entry
+      | exception Failure msg ->
+          Printf.eprintf "indaas: bad --fault %S: %s\n" s msg;
+          exit 124)
+    specs
+
 let sia_cmd =
-  let run db servers required algorithm rounds prob json seed strict disable =
+  let run db servers required algorithm rounds prob json seed strict disable
+      faults =
     let db = load_db db in
+    (* Under --fault the database is re-collected through the fault
+       injector and the retry engine, as if a flaky data source served
+       it: the audit then runs over whatever records survived. *)
+    let db, degradation =
+      match parse_fault_entries faults with
+      | [] -> (db, None)
+      | entries ->
+          let injector = Fault.injector ~seed (Fault.plan entries) in
+          let source =
+            Agent.data_source ~name:"db"
+              [ Collectors.static ~name:"records" (Depdb.records db) ]
+          in
+          let db, deg =
+            Agent.collect_resilient ~faults:injector
+              ~rng:(Indaas_util.Prng.of_int seed)
+              [ source ]
+          in
+          (db, Some deg)
+    in
+    let degraded =
+      match degradation with Some d -> Degradation.degraded d | None -> false
+    in
+    if degraded && strict then begin
+      Option.iter (fun d -> prerr_endline (Degradation.render d)) degradation;
+      prerr_endline "refusing to audit: dependency collection was degraded";
+      exit 1
+    end;
     enforce_strict ~strict ~disable:(List.concat disable) db;
     let rng = Indaas_util.Prng.of_int seed in
     let request = make_request servers required algorithm rounds prob in
     let report = Sia_audit.audit ~rng db request in
+    let report =
+      match degradation with
+      | Some d when degraded ->
+          {
+            report with
+            Sia_audit.diagnostics =
+              Lint.degraded_collection ~completeness:d.Degradation.completeness
+                ~failed_sources:(Degradation.failed_sources d)
+              :: report.Sia_audit.diagnostics;
+          }
+      | _ -> report
+    in
     if json then
-      print_endline
-        (Indaas_util.Json.to_string ~indent:true
-           (Sia_report.deployment_to_json report))
-    else print_endline (Sia_report.render_deployment report);
+      let report_json = Sia_report.deployment_to_json report in
+      let payload =
+        match degradation with
+        | None -> report_json
+        | Some d ->
+            Indaas_util.Json.Obj
+              [
+                ("degradation", Degradation.to_json d);
+                ("report", report_json);
+              ]
+      in
+      print_endline (Indaas_util.Json.to_string ~indent:true payload)
+    else begin
+      if degraded then
+        Option.iter
+          (fun d ->
+            print_endline (Degradation.render d);
+            print_newline ())
+          degradation;
+      print_endline (Sia_report.render_deployment report)
+    end;
     if report.Sia_audit.unexpected <> [] then begin
       if not json then
         Printf.printf
@@ -246,10 +330,60 @@ let sia_cmd =
   let term =
     Term.(
       const run $ db_arg $ servers_arg $ required_arg $ algorithm_arg
-      $ rounds_arg $ prob_arg $ json_arg $ seed_arg $ strict_arg $ disable_arg)
+      $ rounds_arg $ prob_arg $ json_arg $ seed_arg $ strict_arg $ disable_arg
+      $ fault_arg)
   in
   Cmd.v
     (Cmd.info "sia" ~doc:"Structural independence audit of one deployment.")
+    term
+
+(* --- indaas chaos ------------------------------------------------------- *)
+
+let chaos_cmd =
+  let run scenario plan trials seed json list =
+    if list then print_string (Chaos.list_text ())
+    else
+      match Chaos.run ~seed ~scenario ~plan ~trials () with
+      | summary ->
+          if json then
+            print_endline
+              (Indaas_util.Json.to_string ~indent:true (Chaos.to_json summary))
+          else print_string (Chaos.render summary)
+      | exception Invalid_argument msg ->
+          Printf.eprintf "indaas chaos: %s\n" msg;
+          exit 124
+  in
+  let scenario_arg =
+    Arg.(
+      value & opt string "sia-lab"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Scenario to stress (see $(b,--list)).")
+  in
+  let plan_arg =
+    Arg.(
+      value & opt string "none"
+      & info [ "plan" ] ~docv:"NAME" ~doc:"Fault plan (see $(b,--list)).")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "trials" ] ~docv:"N" ~doc:"Independent trials to run.")
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List known scenarios and fault plans, then exit.")
+  in
+  let term =
+    Term.(
+      const run $ scenario_arg $ plan_arg $ trials_arg $ seed_arg $ json_arg
+      $ list_arg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Stress the audit pipeline: repeated audits under a deterministic \
+          fault plan, reporting degradation statistics.")
     term
 
 (* --- indaas compare ------------------------------------------------------ *)
@@ -608,4 +742,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ lint_cmd; sia_cmd; compare_cmd; pia_cmd; topo_cmd; case_cmd;
-            dot_cmd; gen_cmd; coverage_cmd; importance_cmd ]))
+            chaos_cmd; dot_cmd; gen_cmd; coverage_cmd; importance_cmd ]))

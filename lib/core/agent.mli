@@ -5,10 +5,22 @@
     source (each source runs its acquisition modules), filters it to
     the dependency kinds the client asked about, and runs either
     structural (SIA) or private (PIA) independence auditing, returning
-    the final report. *)
+    the final report.
+
+    Collection can run in two modes. The legacy {!collect} is
+    fail-fast: a raising module aborts the audit. The resilient mode
+    ({!collect_resilient}, or {!run} with [?faults]/[?retry]) retries
+    each module under exponential backoff with full jitter on a
+    virtual clock, guarded by a per-source circuit breaker; a module
+    that stays down loses its records but not the audit, and the
+    {!type:audit_run}'s degradation record accounts for every loss. *)
 
 module Depdb = Indaas_depdata.Depdb
 module Collectors = Indaas_depdata.Collectors
+module Fault = Indaas_resilience.Fault
+module Retry = Indaas_resilience.Retry
+module Vclock = Indaas_resilience.Vclock
+module Degradation = Indaas_resilience.Degradation
 
 type data_source = {
   source_name : string;
@@ -27,28 +39,61 @@ type audit_run = {
   outcome : outcome;
   database_size : int;
       (** records gathered (0 for PIA — the agent never sees them) *)
+  degradation : Degradation.t;
+      (** how complete the collection was; completeness 1 for
+          fail-fast runs that finished *)
 }
 
 val collect : Spec.t -> data_source list -> Depdb.t
 (** Steps 2–3 only: ask every relevant source to run its modules and
     adapt the records; returns the merged DepDB filtered to the
-    requested dependency kinds. *)
+    requested dependency kinds. Fail-fast: module exceptions
+    propagate. *)
+
+val collect_resilient :
+  ?faults:Fault.injector ->
+  ?retry:Retry.policy ->
+  ?clock:Vclock.t ->
+  ?rng:Indaas_util.Prng.t ->
+  data_source list ->
+  Depdb.t * Degradation.t
+(** Runs every module of every listed source under the retry engine
+    ([retry] defaults to {!Retry.default}) and a per-source circuit
+    breaker, optionally wrapping each collector through the fault
+    injector. Returns the merged (unfiltered) database plus the
+    degradation record; never raises for transient module failures.
+    [clock] is ignored when [faults] is given (the injector's clock
+    wins), so injected timeouts and retry backoff share one timeline. *)
 
 val run :
   ?rng:Indaas_util.Prng.t ->
   ?rg_algorithm:Indaas_sia.Audit.rg_algorithm ->
   ?pia_protocol:Indaas_pia.Audit.protocol ->
+  ?faults:Fault.injector ->
+  ?retry:Retry.policy ->
   Spec.t ->
   data_source list ->
   audit_run
 (** The full workflow. For SIA metrics each candidate deployment is
     audited over the merged database; for [Jaccard_similarity] each
     source's records stay local — only normalized component sets
-    enter the (default P-SOP) private protocol. Raises
-    [Invalid_argument] if a specified data source is missing. *)
+    enter the (default P-SOP) private protocol.
+
+    Raises [Invalid_argument] if a specified data source is missing or
+    if two sources carry the same name.
+
+    Passing [faults] and/or [retry] turns on resilient mode: SIA
+    collection degrades instead of crashing (failed sources are
+    reported in the degradation record and every deployment report
+    carries the [IND-R001] diagnostic); PIA providers that never
+    answer are excluded (raising [Failure] only if fewer than
+    [redundancy] remain), and the private protocol itself retries
+    rounds under the same policy, reporting still-failed rounds in the
+    PIA report instead of crashing. *)
 
 val render : audit_run -> string
-(** The report sent back to the client (Step 6). *)
+(** The report sent back to the client (Step 6), prefixed with the
+    degradation banner when the collection was incomplete. *)
 
 val best_deployment : audit_run -> string list
 (** The servers/providers of the top-ranked deployment. *)

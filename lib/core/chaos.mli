@@ -1,0 +1,65 @@
+(** The chaos harness: repeated audits under a named fault plan.
+
+    A chaos run executes one {e scenario} (a canned spec + data
+    sources) for [trials] independent trials under one named fault
+    {e plan}, and aggregates how the pipeline held up: how many trials
+    finished clean, degraded, or failed outright, how many collector
+    attempts and retries were spent, and the distribution of
+    completeness ratios.
+
+    Everything is driven by the virtual clock and seeded PRNGs —
+    trial [t] of a run with seed [s] uses seed [s + t] — so a chaos
+    run never sleeps and two runs with the same seed render
+    byte-identically. *)
+
+type summary = {
+  scenario : string;
+  plan : string;
+  plan_text : string;  (** the entries in [TARGET=SPEC] spelling *)
+  seed : int;
+  trials : int;
+  successes : int;  (** trials with completeness 1 and no failures *)
+  degraded : int;  (** trials that finished with losses *)
+  failed : int;  (** trials where the audit raised *)
+  attempts : int;  (** collector + protocol-round attempts *)
+  retries : int;  (** retries spent by the backoff engine *)
+  completeness : float list;  (** per trial, trial order; 0 when failed *)
+  errors : (string * int) list;
+      (** distinct error messages with occurrence counts, most
+          frequent first *)
+}
+
+val scenario_names : string list
+(** Currently ["sia-lab"] (three sources, two sharing a switch) and
+    ["pia-clouds"] (three software providers under P-SOP). *)
+
+val plan_names : string list
+(** ["none"], ["crash-one"], ["flaky"], ["lossy"], ["corrupt"],
+    ["slow-source"], ["partition"]. *)
+
+val plan_doc : string -> string
+(** One-line description. Raises [Invalid_argument] on an unknown
+    plan name. *)
+
+val list_text : unit -> string
+(** The scenario and plan catalogue, for [indaas chaos --list]. *)
+
+val run :
+  ?seed:int ->
+  ?retry:Indaas_resilience.Retry.policy ->
+  scenario:string ->
+  plan:string ->
+  trials:int ->
+  unit ->
+  summary
+(** Runs the trials (default [seed = 42]; [retry] defaults to the
+    agent's {!Indaas_resilience.Retry.default}). Raises
+    [Invalid_argument] on an unknown scenario or plan, or a
+    non-positive trial count. *)
+
+val render : summary -> string
+(** Deterministic text report: outcome counts, retry totals,
+    completeness min/mean/max plus a bucket histogram, and the
+    aggregated error messages. *)
+
+val to_json : summary -> Indaas_util.Json.t

@@ -13,10 +13,25 @@ let construction_failure msg =
 let g007_registry_row =
   ("IND-G007", D.Error, "fault-graph construction raised instead of building")
 
+let degraded_collection ~completeness ~failed_sources =
+  D.make ~code:"IND-R001" ~severity:D.Warning ~location:D.Whole
+    (Printf.sprintf
+       "report produced from a degraded collection (completeness %.2f%s); \
+        missing dependency data can only overestimate independence"
+       completeness
+       (match failed_sources with
+       | [] -> ""
+       | l -> "; failed sources: " ^ String.concat ", " l))
+
+let r001_registry_row =
+  ( "IND-R001",
+    D.Warning,
+    "deployment report produced from a degraded dependency collection" )
+
 let registry =
   List.map Rule.describe Depdb_rules.rules
   @ List.map Rule.describe Graph_rules.rules
-  @ [ g007_registry_row ]
+  @ [ g007_registry_row; r001_registry_row ]
   @ List.map Rule.describe Topo_rules.rules
   |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 

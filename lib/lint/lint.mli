@@ -33,5 +33,13 @@ val construction_failure : string -> Diagnostic.t
     catch [Invalid_argument]/[Failure] and turn the message into this
     diagnostic. *)
 
+val degraded_collection :
+  completeness:float -> failed_sources:string list -> Diagnostic.t
+(** The [IND-R001] finding: this deployment report was produced from
+    a degraded dependency collection (source failures or record
+    loss), so its independence verdict is an overestimate. The agent
+    attaches it to every report of a degraded run; [--strict] CLI
+    users refuse such audits. *)
+
 val errors : Diagnostic.t list -> Diagnostic.t list
 (** The error-severity findings only. *)

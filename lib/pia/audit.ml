@@ -1,5 +1,8 @@
 module Prng = Indaas_util.Prng
 module Table = Indaas_util.Table
+module Fault = Indaas_resilience.Fault
+module Retry = Indaas_resilience.Retry
+module Vclock = Indaas_resilience.Vclock
 
 type protocol =
   | Psop of { params : Indaas_crypto.Commutative.params option }
@@ -24,7 +27,25 @@ type deployment_result = {
   correlated : bool;
 }
 
-type report = { way : int; results : deployment_result list }
+type round_failure = { group : string list; error : string; attempts : int }
+
+type report = {
+  way : int;
+  results : deployment_result list;
+  failures : round_failure list;
+}
+
+(* Duplicate provider names would silently produce duplicate subsets
+   downstream; reject them at the boundary, naming the duplicate. *)
+let check_unique_names ~what providers =
+  let rec go seen = function
+    | [] -> ()
+    | p :: rest ->
+        if List.mem p.name seen then
+          invalid_arg (Printf.sprintf "%s: duplicate provider name %S" what p.name)
+        else go (p.name :: seen) rest
+  in
+  go [] providers
 
 let subsets_of_size k l =
   let rec go k l =
@@ -36,7 +57,7 @@ let subsets_of_size k l =
   in
   go k l
 
-let evaluate protocol rng group =
+let evaluate ?interceptor protocol rng group =
   let names = List.map (fun p -> p.name) group in
   let datasets =
     Array.of_list (List.map (fun p -> Componentset.to_list p.components) group)
@@ -49,10 +70,10 @@ let evaluate protocol rng group =
       let j = Jaccard.of_cardinalities ~intersection:inter ~union in
       (names, j, Some inter, Some union)
   | Psop { params } ->
-      let r = Psop.run ?params rng datasets in
+      let r = Psop.run ?params ?interceptor rng datasets in
       (names, r.Psop.jaccard, Some r.Psop.intersection, Some r.Psop.union)
   | Psop_minhash { params; m } ->
-      let r = Psop.run_minhash ?params ~m rng datasets in
+      let r = Psop.run_minhash ?params ?interceptor ~m rng datasets in
       (names, r.Psop.jaccard, None, None)
   | Bloom { bits; hashes; flip } ->
       let r = Bloompsi.run ~bits ~hashes ~flip rng datasets in
@@ -83,29 +104,67 @@ let evaluate protocol rng group =
       in
       (names, j, Some inter, union)
 
-let audit ?(protocol = Cleartext) ?(rng = Prng.of_int 0x91A) ~way providers =
+let audit ?(protocol = Cleartext) ?(rng = Prng.of_int 0x91A) ?faults ?retry ~way
+    providers =
+  check_unique_names ~what:"Audit.audit" providers;
   let n = List.length providers in
   if way < 2 then invalid_arg "Audit.audit: way must be >= 2";
   if way > n then invalid_arg "Audit.audit: way exceeds provider count";
-  let results =
+  (* With a fault injector or a retry policy, each protocol round is
+     retried under backoff and a round that still fails is reported
+     in [failures] instead of crashing the whole audit. *)
+  let resilient = faults <> None || retry <> None in
+  let interceptor =
+    Option.map (fun f -> Fault.transport_interceptor f ~target:"transport") faults
+  in
+  let clock =
+    match faults with Some f -> Fault.clock f | None -> Vclock.create ()
+  in
+  let policy = Option.value retry ~default:Retry.default in
+  let retry_rng = Prng.split rng in
+  let measured =
     subsets_of_size way providers
     |> List.map (fun group ->
-           let providers, jaccard, intersection, union =
-             evaluate protocol rng group
-           in
-           {
-             providers;
-             jaccard;
-             intersection;
-             union;
-             correlated = Jaccard.significantly_correlated jaccard;
-           })
+           let names = List.map (fun p -> p.name) group in
+           let eval () = evaluate ?interceptor protocol rng group in
+           if not resilient then Either.Left (eval ())
+           else
+             let outcome =
+               Retry.call ~policy ~clock ~rng:retry_rng
+                 ~label:(String.concat " & " names) eval
+             in
+             match outcome.Retry.result with
+             | Ok r -> Either.Left r
+             | Error error ->
+                 Either.Right
+                   { group = names; error; attempts = outcome.Retry.attempts })
+  in
+  let results =
+    List.filter_map
+      (function
+        | Either.Left (providers, jaccard, intersection, union) ->
+            Some
+              {
+                providers;
+                jaccard;
+                intersection;
+                union;
+                correlated = Jaccard.significantly_correlated jaccard;
+              }
+        | Either.Right _ -> None)
+      measured
     |> List.sort (fun a b ->
            match compare a.jaccard b.jaccard with
            | 0 -> compare a.providers b.providers
            | c -> c)
   in
-  { way; results }
+  let failures =
+    List.filter_map
+      (function Either.Right f -> Some f | Either.Left _ -> None)
+      measured
+    |> List.sort (fun a b -> compare a.group b.group)
+  in
+  { way; results; failures }
 
 let render report =
   let t =
@@ -128,7 +187,25 @@ let render report =
           (if r.correlated then "YES" else "no");
         ])
     report.results;
-  Table.render t
+  let rendered = Table.render t in
+  match report.failures with
+  | [] -> rendered
+  | failures ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf rendered;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n*** DEGRADED AUDIT *** %d deployment(s) could not be measured:\n"
+           (List.length failures));
+      List.iter
+        (fun f ->
+          Buffer.add_string buf
+            (Printf.sprintf "  - %s: failed: %s (%d attempts)\n"
+               (String.concat " & " f.group) f.error f.attempts))
+        failures;
+      Buffer.add_string buf
+        "  unmeasured deployments are missing from the ranking above";
+      Buffer.contents buf
 
 let best report =
   match report.results with
@@ -143,6 +220,7 @@ type nofm_result = {
 }
 
 let audit_nofm ?(protocol = Cleartext) ?(rng = Prng.of_int 0x90F) ~n ~m providers =
+  check_unique_names ~what:"Audit.audit_nofm" providers;
   let count = List.length providers in
   if n < 2 || n > m || m > count then
     invalid_arg "Audit.audit_nofm: need 2 <= n <= m <= #providers";
@@ -228,4 +306,17 @@ let to_json report =
                    ("correlated", Json.Bool r.correlated);
                  ])
              report.results) );
+      ("degraded", Json.Bool (report.failures <> []));
+      ( "failures",
+        Json.List
+          (List.map
+             (fun (f : round_failure) ->
+               Json.Obj
+                 [
+                   ( "providers",
+                     Json.List (List.map (fun p -> Json.String p) f.group) );
+                   ("error", Json.String f.error);
+                   ("attempts", Json.Int f.attempts);
+                 ])
+             report.failures) );
     ]

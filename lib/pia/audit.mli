@@ -35,25 +35,48 @@ type deployment_result = {
   correlated : bool;  (** [jaccard >= 0.75] *)
 }
 
+type round_failure = {
+  group : string list;  (** the deployment that could not be measured *)
+  error : string;  (** the last error after retries *)
+  attempts : int;
+}
+
 type report = {
   way : int;  (** deployments of this many providers *)
   results : deployment_result list;  (** ranked, most independent first *)
+  failures : round_failure list;
+      (** protocol rounds that kept failing after retries — empty for
+          a healthy run; a non-empty list marks the audit degraded *)
 }
 
 val audit :
   ?protocol:protocol ->
   ?rng:Indaas_util.Prng.t ->
+  ?faults:Indaas_resilience.Fault.injector ->
+  ?retry:Indaas_resilience.Retry.policy ->
   way:int ->
   provider list ->
   report
 (** Evaluates every [way]-subset of the providers (Table 2 evaluates
     [way = 2] and [way = 3] over four clouds). Defaults: [Cleartext]
     — pass [Psop] for the private protocol — and a fixed seed.
-    Raises [Invalid_argument] if [way < 2] or exceeds the provider
-    count. *)
+
+    When [faults] and/or [retry] is given the audit runs resiliently:
+    the injector's ["transport"] faults intercept the P-SOP ring, each
+    protocol round is retried under the policy (default
+    {!Indaas_resilience.Retry.default}) on the injector's virtual
+    clock, and a round whose budget is exhausted — e.g. a provider
+    that keeps dropping out mid-P-SOP — lands in [failures] instead
+    of crashing the run. Without either option behaviour is the
+    legacy fail-fast one.
+
+    Raises [Invalid_argument] if [way < 2], [way] exceeds the
+    provider count, or two providers share a name (the message names
+    the duplicate). *)
 
 val render : report -> string
-(** Paper-style Table 2: rank, deployment, Jaccard. *)
+(** Paper-style Table 2: rank, deployment, Jaccard. Degraded audits
+    get a prominent trailer listing the unmeasured deployments. *)
 
 val best : report -> deployment_result
 (** The most independent deployment. *)
@@ -85,7 +108,7 @@ val audit_nofm :
 (** Evaluates every [m]-subset of the providers; within each, every
     [n]-subset. Ranked by [worst_quorum_jaccard] then [full_jaccard]
     (most independent first). Raises [Invalid_argument] unless
-    [2 <= n <= m <= #providers]. *)
+    [2 <= n <= m <= #providers], or on a duplicate provider name. *)
 
 val render_nofm : n:int -> nofm_result list -> string
 

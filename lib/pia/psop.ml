@@ -18,10 +18,11 @@ type result = {
 
 (* The protocol core: returns the fully-encrypted dataset of every
    party (as comparable ciphertext strings) plus accounting. *)
-let encrypt_all ~params ~hash g datasets =
+let encrypt_all ~params ~hash ?interceptor g datasets =
   let k = Array.length datasets in
   if k < 2 then invalid_arg "Psop.run: need at least two parties";
   let transport = Transport.create ~parties:k in
+  Option.iter (Transport.set_interceptor transport) interceptor;
   let crypto_ops = ref 0 in
   let keys = Array.init k (fun _ -> Commutative.generate_key g params) in
   let modulus = Commutative.modulus params in
@@ -90,13 +91,15 @@ let count_cardinalities encrypted_batches =
   ( Componentset.cardinal (Componentset.inter_many sets),
     Componentset.cardinal (Componentset.union_many sets) )
 
-let run ?params ?(hash = Digest.SHA256) g datasets =
+let run ?params ?(hash = Digest.SHA256) ?interceptor g datasets =
   let params =
     match params with
     | Some p -> p
     | None -> Commutative.params_pohlig_hellman ~bits:256 g
   in
-  let encrypted, transport, crypto_ops = encrypt_all ~params ~hash g datasets in
+  let encrypted, transport, crypto_ops =
+    encrypt_all ~params ~hash ?interceptor g datasets
+  in
   let intersection, union = count_cardinalities encrypted in
   Log.debug (fun f ->
       f "P-SOP: %d parties, %d crypto ops, %d bytes, |inter|=%d |union|=%d"
@@ -110,14 +113,14 @@ let run ?params ?(hash = Digest.SHA256) g datasets =
     crypto_ops;
   }
 
-let run_minhash ?params ?(hash = Digest.SHA256) ~m g datasets =
+let run_minhash ?params ?(hash = Digest.SHA256) ?interceptor ~m g datasets =
   let signatures =
     Array.map
       (fun elements ->
         Minhash.signature_elements ~m (Componentset.of_list elements))
       datasets
   in
-  let result = run ?params ~hash g signatures in
+  let result = run ?params ~hash ?interceptor g signatures in
   (* δ = number of agreeing positions = |∩ signatures|. *)
   {
     result with

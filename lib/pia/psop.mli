@@ -24,17 +24,23 @@ type result = {
 val run :
   ?params:Indaas_crypto.Commutative.params ->
   ?hash:Indaas_crypto.Digest.algorithm ->
+  ?interceptor:Transport.interceptor ->
   Indaas_util.Prng.t ->
   string list array ->
   result
 (** [run g datasets] executes the protocol among
     [Array.length datasets] parties (at least 2). Fresh 256-bit
     Pohlig–Hellman parameters are generated unless [params] is given.
-    Raises [Invalid_argument] with fewer than two parties. *)
+    [interceptor] puts the ring's transport under a fault plan: a
+    dropped hop or broadcast raises
+    [Indaas_resilience.Fault.Injected], modelling a party vanishing
+    mid-protocol. Raises [Invalid_argument] with fewer than two
+    parties. *)
 
 val run_minhash :
   ?params:Indaas_crypto.Commutative.params ->
   ?hash:Indaas_crypto.Digest.algorithm ->
+  ?interceptor:Transport.interceptor ->
   m:int ->
   Indaas_util.Prng.t ->
   string list array ->

@@ -1,27 +1,70 @@
+module Fault = Indaas_resilience.Fault
+
+type action = [ `Deliver | `Drop | `Delay of float ]
+type interceptor = src:int -> dst:int -> bytes:int -> action
+
 type t = {
   n : int;
   sent : int array;
   received : int array;
   mutable message_count : int;
+  mutable dropped : int;
+  mutable delay : float;
+  mutable interceptor : interceptor option;
 }
 
 let create ~parties =
-  if parties <= 0 then invalid_arg "Transport.create: parties must be positive";
+  if parties <= 0 then
+    invalid_arg
+      (Printf.sprintf "Transport.create: parties must be positive (got %d)"
+         parties);
   {
     n = parties;
     sent = Array.make parties 0;
     received = Array.make parties 0;
     message_count = 0;
+    dropped = 0;
+    delay = 0.;
+    interceptor = None;
   }
 
+let set_interceptor t interceptor = t.interceptor <- Some interceptor
+
 let send t ~src ~dst bytes =
-  if src < 0 || src >= t.n then invalid_arg "Transport.send: bad src";
-  if dst < 0 || dst >= t.n then invalid_arg "Transport.send: bad dst";
-  if src = dst then invalid_arg "Transport.send: src = dst";
-  if bytes < 0 then invalid_arg "Transport.send: negative size";
-  t.sent.(src) <- t.sent.(src) + bytes;
-  t.received.(dst) <- t.received.(dst) + bytes;
-  t.message_count <- t.message_count + 1
+  if src < 0 || src >= t.n then
+    invalid_arg
+      (Printf.sprintf "Transport.send: src %d outside [0, %d)" src t.n);
+  if dst < 0 || dst >= t.n then
+    invalid_arg
+      (Printf.sprintf "Transport.send: dst %d outside [0, %d)" dst t.n);
+  if src = dst then
+    invalid_arg
+      (Printf.sprintf "Transport.send: party %d cannot send to itself" src);
+  if bytes < 0 then
+    invalid_arg
+      (Printf.sprintf "Transport.send: negative size %d on %d -> %d" bytes src
+         dst);
+  let deliver () =
+    t.sent.(src) <- t.sent.(src) + bytes;
+    t.received.(dst) <- t.received.(dst) + bytes;
+    t.message_count <- t.message_count + 1
+  in
+  match t.interceptor with
+  | None -> deliver ()
+  | Some intercept -> (
+      match intercept ~src ~dst ~bytes with
+      | `Deliver -> deliver ()
+      | `Delay d ->
+          t.delay <- t.delay +. d;
+          deliver ()
+      | `Drop ->
+          t.dropped <- t.dropped + 1;
+          raise
+            (Fault.Injected
+               {
+                 target = Printf.sprintf "transport %d -> %d" src dst;
+                 fault = Printf.sprintf "message of %d bytes dropped" bytes;
+               }))
 
 let broadcast t ~src bytes =
   for dst = 0 to t.n - 1 do
@@ -34,3 +77,5 @@ let bytes_sent_by t i = t.sent.(i)
 let bytes_received_by t i = t.received.(i)
 let total_bytes t = Array.fold_left ( + ) 0 t.sent
 let max_party_bytes t = Array.fold_left max 0 t.sent
+let messages_dropped t = t.dropped
+let delay_seconds t = t.delay

@@ -2,19 +2,40 @@
 
     PIA's protocols run between co-located simulated parties; this
     module records who sent how many bytes to whom, so the Figure 8(a)
-    bandwidth-overhead series can be measured rather than modelled. *)
+    bandwidth-overhead series can be measured rather than modelled.
+
+    An optional {!interceptor} puts the transport under a fault plan:
+    each message may be delivered, dropped (the send raises
+    {!Indaas_resilience.Fault.Injected} naming the endpoints — how a
+    provider "drops out" mid-protocol) or delayed (accounted in
+    {!delay_seconds}; virtual time, no sleeping). *)
 
 type t
 
+type action = [ `Deliver | `Drop | `Delay of float ]
+
+type interceptor = src:int -> dst:int -> bytes:int -> action
+(** Per-message decision, e.g.
+    {!Indaas_resilience.Fault.transport_interceptor}. *)
+
 val create : parties:int -> t
+(** Raises [Invalid_argument] unless [parties] is positive. *)
+
+val set_interceptor : t -> interceptor -> unit
+(** Installs the fault interceptor for all subsequent sends. *)
 
 val send : t -> src:int -> dst:int -> int -> unit
-(** [send t ~src ~dst bytes] accounts one message. Raises
-    [Invalid_argument] on out-of-range endpoints, [src = dst], or
-    negative size. *)
+(** [send t ~src ~dst bytes] accounts one message. Zero-byte messages
+    are legal and count as messages. Raises [Invalid_argument] naming
+    the offending endpoint on an out-of-range [src]/[dst], [src = dst]
+    or a negative size; raises [Indaas_resilience.Fault.Injected] when
+    the interceptor drops the message. *)
 
 val broadcast : t -> src:int -> int -> unit
-(** One message of the given size to every other party. *)
+(** One message of the given size to every other party. With a single
+    party there is no other party: the broadcast is a no-op. If the
+    interceptor drops one copy, the exception propagates and the
+    remaining copies are not sent — a mid-broadcast crash. *)
 
 val parties : t -> int
 val messages : t -> int
@@ -24,3 +45,10 @@ val total_bytes : t -> int
 val max_party_bytes : t -> int
 (** Largest per-party outbound total — the per-provider overhead the
     paper plots. *)
+
+val messages_dropped : t -> int
+(** Messages the interceptor dropped. *)
+
+val delay_seconds : t -> float
+(** Total virtual delay the interceptor injected into delivered
+    messages. *)

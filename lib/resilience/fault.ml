@@ -1,0 +1,243 @@
+module Prng = Indaas_util.Prng
+module Collectors = Indaas_depdata.Collectors
+module Dependency = Indaas_depdata.Dependency
+
+type kind =
+  | Crash
+  | Flaky_until of int
+  | Timeout of float
+  | Drop_fraction of float
+  | Corrupt_fraction of float
+  | Message_loss of float
+  | Message_delay of float
+
+exception Injected of { target : string; fault : string }
+
+let () =
+  Printexc.register_printer (function
+    | Injected { target; fault } ->
+        Some (Printf.sprintf "fault injected (%s): %s" target fault)
+    | _ -> None)
+
+let describe = function
+  | Injected { target; fault } -> Printf.sprintf "%s: %s" target fault
+  | Failure msg -> msg
+  | e -> Printexc.to_string e
+
+type plan = { seed : int; plan_entries : (string * kind) list }
+
+let validate_kind = function
+  | Crash -> ()
+  | Flaky_until k ->
+      if k < 0 then invalid_arg "Fault.plan: flaky count must be non-negative"
+  | Timeout s | Message_delay s ->
+      if s < 0. then invalid_arg "Fault.plan: negative duration"
+  | Drop_fraction f | Corrupt_fraction f | Message_loss f ->
+      if f < 0. || f > 1. then
+        invalid_arg "Fault.plan: fraction must be in [0, 1]"
+
+let plan ?(seed = 0) entries =
+  List.iter (fun (_, k) -> validate_kind k) entries;
+  { seed; plan_entries = entries }
+
+let empty = { seed = 0; plan_entries = [] }
+let is_empty p = p.plan_entries = []
+let entries p = p.plan_entries
+
+let kind_to_string = function
+  | Crash -> "crash"
+  | Flaky_until k -> Printf.sprintf "flaky:%d" k
+  | Timeout s -> Printf.sprintf "timeout:%g" s
+  | Drop_fraction f -> Printf.sprintf "drop:%g" f
+  | Corrupt_fraction f -> Printf.sprintf "corrupt:%g" f
+  | Message_loss p -> Printf.sprintf "msg-loss:%g" p
+  | Message_delay s -> Printf.sprintf "msg-delay:%g" s
+
+let grammar =
+  "crash | flaky:K | timeout:SECS | drop:FRACTION | corrupt:FRACTION | \
+   msg-loss:PROB | msg-delay:SECS"
+
+let kind_of_string s =
+  let fail () = failwith (Printf.sprintf "bad fault spec %S (expected %s)" s grammar) in
+  let name, arg =
+    match String.index_opt s ':' with
+    | None -> (s, None)
+    | Some i ->
+        (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+  in
+  let int_arg () = match arg with Some a -> int_of_string a | None -> fail () in
+  let float_arg () = match arg with Some a -> float_of_string a | None -> fail () in
+  let kind =
+    try
+      match name with
+      | "crash" -> if arg = None then Crash else fail ()
+      | "flaky" -> Flaky_until (int_arg ())
+      | "timeout" -> Timeout (float_arg ())
+      | "drop" -> Drop_fraction (float_arg ())
+      | "corrupt" -> Corrupt_fraction (float_arg ())
+      | "msg-loss" -> Message_loss (float_arg ())
+      | "msg-delay" -> Message_delay (float_arg ())
+      | _ -> fail ()
+    with Failure _ -> fail ()
+  in
+  (try validate_kind kind with Invalid_argument msg -> failwith msg);
+  kind
+
+let entry_of_string s =
+  match String.index_opt s '=' with
+  | None ->
+      failwith
+        (Printf.sprintf "bad fault entry %S (expected TARGET=SPEC, SPEC one of %s)"
+           s grammar)
+  | Some i ->
+      let target = String.sub s 0 i in
+      let spec = String.sub s (i + 1) (String.length s - i - 1) in
+      if target = "" then failwith (Printf.sprintf "bad fault entry %S: empty target" s);
+      (target, kind_of_string spec)
+
+type injector = {
+  inj_plan : plan;
+  inj_clock : Vclock.t;
+  rng : Prng.t;
+  calls : (string, int) Hashtbl.t;
+  dropped : (string, int) Hashtbl.t;
+  corrupted : (string, int) Hashtbl.t;
+  mutable inj_crashes : int;
+  mutable inj_timeouts : int;
+  mutable inj_messages_dropped : int;
+  mutable inj_messages_delayed : int;
+}
+
+let injector ?seed ?clock p =
+  let seed = Option.value seed ~default:p.seed in
+  {
+    inj_plan = p;
+    inj_clock = (match clock with Some c -> c | None -> Vclock.create ());
+    rng = Prng.of_int seed;
+    calls = Hashtbl.create 8;
+    dropped = Hashtbl.create 8;
+    corrupted = Hashtbl.create 8;
+    inj_crashes = 0;
+    inj_timeouts = 0;
+    inj_messages_dropped = 0;
+    inj_messages_delayed = 0;
+  }
+
+let clock inj = inj.inj_clock
+let injector_plan inj = inj.inj_plan
+
+let matches pattern name = pattern = "*" || pattern = name
+
+let faults_for inj name =
+  List.filter_map
+    (fun (target, kind) -> if matches target name then Some kind else None)
+    inj.inj_plan.plan_entries
+
+let bump table key =
+  let n = (match Hashtbl.find_opt table key with Some n -> n | None -> 0) + 1 in
+  Hashtbl.replace table key n;
+  n
+
+let add table key n =
+  let prev = match Hashtbl.find_opt table key with Some v -> v | None -> 0 in
+  Hashtbl.replace table key (prev + n)
+
+let count table key =
+  match Hashtbl.find_opt table key with Some n -> n | None -> 0
+
+let mangle name = name ^ "~corrupt"
+
+let corrupt_record = function
+  | Dependency.Network n ->
+      Dependency.network ~src:n.Dependency.src ~dst:n.Dependency.dst
+        ~route:(List.map mangle n.Dependency.route)
+  | Dependency.Hardware h ->
+      Dependency.hardware ~hw:h.Dependency.hw ~hw_type:h.Dependency.hw_type
+        ~dep:(mangle h.Dependency.dep)
+  | Dependency.Software s ->
+      Dependency.software ~pgm:s.Dependency.pgm ~host:s.Dependency.host
+        ~deps:(List.map mangle s.Dependency.deps)
+
+let wrap_collector inj ~source (m : Collectors.t) =
+  let faults = faults_for inj source in
+  if faults = [] then m
+  else
+    let key = source ^ "/" ^ m.Collectors.name in
+    let collect () =
+      let call = bump inj.calls key in
+      List.iter
+        (function
+          | Crash ->
+              inj.inj_crashes <- inj.inj_crashes + 1;
+              raise (Injected { target = source; fault = "crash" })
+          | Flaky_until k ->
+              if call <= k then
+                raise
+                  (Injected
+                     {
+                       target = source;
+                       fault = Printf.sprintf "flaky (call %d of %d failing)" call k;
+                     })
+          | Timeout s ->
+              Vclock.advance inj.inj_clock s;
+              inj.inj_timeouts <- inj.inj_timeouts + 1;
+              raise
+                (Injected
+                   { target = source; fault = Printf.sprintf "timeout after %gs" s })
+          | Drop_fraction _ | Corrupt_fraction _ | Message_loss _
+          | Message_delay _ ->
+              ())
+        faults;
+      let records = m.Collectors.collect () in
+      List.fold_left
+        (fun acc fault ->
+          match fault with
+          | Drop_fraction f ->
+              List.filter
+                (fun _ ->
+                  if Prng.bernoulli inj.rng f then begin
+                    add inj.dropped source 1;
+                    false
+                  end
+                  else true)
+                acc
+          | Corrupt_fraction f ->
+              List.map
+                (fun r ->
+                  if Prng.bernoulli inj.rng f then begin
+                    add inj.corrupted source 1;
+                    corrupt_record r
+                  end
+                  else r)
+                acc
+          | _ -> acc)
+        records faults
+    in
+    { m with Collectors.collect }
+
+let transport_interceptor inj ~target ~src ~dst ~bytes =
+  ignore bytes;
+  let faults = faults_for inj target in
+  let rec decide = function
+    | [] -> `Deliver
+    | Message_loss p :: rest ->
+        if Prng.bernoulli inj.rng p then begin
+          inj.inj_messages_dropped <- inj.inj_messages_dropped + 1;
+          ignore (src, dst);
+          `Drop
+        end
+        else decide rest
+    | Message_delay s :: rest ->
+        inj.inj_messages_delayed <- inj.inj_messages_delayed + 1;
+        Vclock.advance inj.inj_clock s;
+        (match decide rest with `Drop -> `Drop | _ -> `Delay s)
+    | _ :: rest -> decide rest
+  in
+  decide faults
+
+let records_dropped inj ~source = count inj.dropped source
+let records_corrupted inj ~source = count inj.corrupted source
+let crashes inj = inj.inj_crashes
+let timeouts inj = inj.inj_timeouts
+let messages_dropped inj = inj.inj_messages_dropped
+let messages_delayed inj = inj.inj_messages_delayed

@@ -1,0 +1,119 @@
+(** Deterministic fault injection.
+
+    A {!plan} names targets (data-source names, or ["transport"] for
+    the PIA message layer, or ["*"] for everything) and the faults to
+    inject at each. An {!injector} instantiates a plan with a seed and
+    a {!Vclock.t}; wrapping a collector or a transport through it
+    produces the exact same fault sequence for the same seed, so chaos
+    runs and tests are byte-reproducible and never sleep.
+
+    The fault model covers the failure classes a production INDaaS
+    deployment meets in the wild (paper §2, §5.2: data sources are
+    independent, possibly lossy parties): process crashes, timeouts,
+    transient flakiness, partial record loss, record corruption, and
+    message loss/delay inside the private protocols. *)
+
+(** One fault kind. Record-level fractions and message probabilities
+    are evaluated per record/message with the injector's seeded
+    generator. *)
+type kind =
+  | Crash  (** every call raises — a permanently dead source *)
+  | Flaky_until of int
+      (** the first [k] calls raise, later calls succeed — a source
+          that recovers; succeeds iff the retry budget is at least
+          [k] *)
+  | Timeout of float
+      (** each call consumes this much virtual time, then raises —
+          a hung source hitting its deadline *)
+  | Drop_fraction of float
+      (** each collected record is independently dropped with this
+          probability — lossy, partial acquisition *)
+  | Corrupt_fraction of float
+      (** each collected record's component identifiers are mangled
+          with this probability *)
+  | Message_loss of float
+      (** transport: each message is dropped with this probability *)
+  | Message_delay of float
+      (** transport: every message is delayed this many virtual
+          seconds *)
+
+exception Injected of { target : string; fault : string }
+(** Raised by wrapped collectors and transports when a crash, flaky
+    call, timeout or message drop fires. The retry engine treats it
+    as transient and retries; anything else propagates. *)
+
+val describe : exn -> string
+(** Human-readable form of an injected (or any other) exception. *)
+
+type plan
+(** A seed plus [(target, kind)] entries. The same target may appear
+    several times; all its faults apply. *)
+
+val plan : ?seed:int -> (string * kind) list -> plan
+(** Raises [Invalid_argument] on an out-of-range fraction or
+    probability, a negative duration, or a negative flaky count. *)
+
+val empty : plan
+(** No faults: wrapping through an injector of the empty plan is an
+    identity (the wrapped collector returns exactly the records of
+    the original). *)
+
+val is_empty : plan -> bool
+val entries : plan -> (string * kind) list
+
+val kind_to_string : kind -> string
+(** CLI spelling, e.g. ["crash"], ["flaky:3"], ["drop:0.25"]. *)
+
+val kind_of_string : string -> kind
+(** Inverse of {!kind_to_string}. Accepts [crash], [flaky:K],
+    [timeout:SECS], [drop:FRACTION], [corrupt:FRACTION],
+    [msg-loss:PROB], [msg-delay:SECS]. Raises [Failure] with the
+    accepted grammar otherwise. *)
+
+val entry_of_string : string -> string * kind
+(** Parses ["TARGET=SPEC"] (e.g. ["S2=crash"]). Raises [Failure]. *)
+
+(** {1 Injectors} *)
+
+type injector
+(** Mutable instantiation of a plan: seeded PRNG, virtual clock,
+    per-target call counters and loss statistics. Create one per
+    run/trial. *)
+
+val injector : ?seed:int -> ?clock:Vclock.t -> plan -> injector
+(** [seed] overrides the plan's seed; [clock] defaults to a fresh
+    clock at 0. *)
+
+val clock : injector -> Vclock.t
+val injector_plan : injector -> plan
+
+val wrap_collector :
+  injector -> source:string -> Indaas_depdata.Collectors.t -> Indaas_depdata.Collectors.t
+(** The returned module injects every fault whose target is [source]
+    (or ["*"]) on each [collect] call: crash/flaky/timeout faults
+    raise {!Injected}; drop/corrupt faults thin or mangle the record
+    list. Message faults are ignored here. *)
+
+val transport_interceptor :
+  injector ->
+  target:string ->
+  src:int ->
+  dst:int ->
+  bytes:int ->
+  [ `Deliver | `Drop | `Delay of float ]
+(** A per-message decision function for {!Indaas_pia.Transport}-style
+    layers, applying the [Message_loss]/[Message_delay] faults whose
+    target is [target] (or ["*"]). [`Delay] also advances the
+    injector's clock. *)
+
+(** {1 Statistics} *)
+
+val records_dropped : injector -> source:string -> int
+(** Records dropped so far for [source] by [Drop_fraction] faults —
+    how the agent learns the known loss of a degraded source. *)
+
+val records_corrupted : injector -> source:string -> int
+val crashes : injector -> int
+val timeouts : injector -> int
+val messages_dropped : injector -> int
+val messages_delayed : injector -> int

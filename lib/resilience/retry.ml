@@ -1,0 +1,131 @@
+module Prng = Indaas_util.Prng
+
+let log_src = Logs.Src.create "indaas.retry" ~doc:"Retry/backoff engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type policy = {
+  retries : int;
+  base_delay : float;
+  max_delay : float;
+  deadline : float option;
+}
+
+let policy ?(retries = 3) ?(base_delay = 0.1) ?(max_delay = 5.) ?deadline () =
+  if retries < 0 then invalid_arg "Retry.policy: negative retry budget";
+  if base_delay < 0. || max_delay < 0. then
+    invalid_arg "Retry.policy: negative delay";
+  (match deadline with
+  | Some d when d < 0. -> invalid_arg "Retry.policy: negative deadline"
+  | _ -> ());
+  { retries; base_delay; max_delay; deadline }
+
+let default = policy ~deadline:30. ()
+
+type breaker = {
+  name : string;
+  threshold : int;
+  cooldown : float;
+  clock : Vclock.t;
+  mutable consecutive_failures : int;
+  mutable open_until : float option;
+  mutable trip_count : int;
+}
+
+let breaker ?(threshold = 5) ?(cooldown = 30.) ~clock name =
+  if threshold <= 0 then invalid_arg "Retry.breaker: threshold must be positive";
+  if cooldown < 0. then invalid_arg "Retry.breaker: negative cooldown";
+  {
+    name;
+    threshold;
+    cooldown;
+    clock;
+    consecutive_failures = 0;
+    open_until = None;
+    trip_count = 0;
+  }
+
+let blocked b =
+  match b.open_until with
+  | Some t -> Vclock.now b.clock < t
+  | None -> false
+
+let breaker_state b =
+  if blocked b then `Open
+  else if b.open_until <> None then `Half_open
+  else `Closed
+
+let trips b = b.trip_count
+
+let record_success b =
+  b.consecutive_failures <- 0;
+  b.open_until <- None
+
+let record_failure b =
+  b.consecutive_failures <- b.consecutive_failures + 1;
+  if b.consecutive_failures >= b.threshold then begin
+    b.open_until <- Some (Vclock.now b.clock +. b.cooldown);
+    b.trip_count <- b.trip_count + 1
+  end
+
+type 'a outcome = {
+  result : ('a, string) result;
+  attempts : int;
+  backoff : float;
+}
+
+let transient = function Fault.Injected _ | Failure _ -> true | _ -> false
+
+let call ?(policy = default) ?breaker ~clock ~rng ~label f =
+  let start = Vclock.now clock in
+  let total_backoff = ref 0. in
+  let breaker_open () =
+    match breaker with Some b -> blocked b | None -> false
+  in
+  (* [attempts] counts calls already made. *)
+  let rec go attempts =
+    if breaker_open () then begin
+      Log.debug (fun m -> m "%s: circuit breaker open, not calling" label);
+      {
+        result =
+          Error
+            (Printf.sprintf "circuit breaker %S is open"
+               (match breaker with Some b -> b.name | None -> label));
+        attempts;
+        backoff = !total_backoff;
+      }
+    end
+    else
+      match f () with
+      | v ->
+          Option.iter record_success breaker;
+          { result = Ok v; attempts = attempts + 1; backoff = !total_backoff }
+      | exception e when transient e ->
+          Option.iter record_failure breaker;
+          let attempts = attempts + 1 in
+          let error = Fault.describe e in
+          if attempts > policy.retries then
+            { result = Error error; attempts; backoff = !total_backoff }
+          else begin
+            let cap =
+              Float.min policy.max_delay
+                (policy.base_delay *. (2. ** float_of_int (attempts - 1)))
+            in
+            let sleep = Prng.float rng *. cap in
+            match policy.deadline with
+            | Some d when Vclock.now clock +. sleep -. start > d ->
+                {
+                  result = Error (error ^ " (retry deadline exhausted)");
+                  attempts;
+                  backoff = !total_backoff;
+                }
+            | _ ->
+                Log.debug (fun m ->
+                    m "%s: attempt %d failed (%s), backing off %.3fs" label
+                      attempts error sleep);
+                Vclock.sleep clock sleep;
+                total_backoff := !total_backoff +. sleep;
+                go attempts
+          end
+  in
+  go 0

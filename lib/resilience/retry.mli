@@ -1,0 +1,72 @@
+(** Retry policies: exponential backoff with full jitter, deadlines,
+    retry budgets, and per-source circuit breakers.
+
+    All waiting happens on a {!Vclock.t}, so a 30-second backoff
+    schedule costs no wall time, and the jitter stream comes from a
+    seeded {!Indaas_util.Prng.t}, so every retry sequence is exactly
+    reproducible. *)
+
+type policy = {
+  retries : int;
+      (** the retry budget: attempts allowed {e after} the first, so a
+          [Fault.Flaky_until k] target succeeds iff [retries >= k] *)
+  base_delay : float;  (** first backoff cap, virtual seconds *)
+  max_delay : float;  (** backoff cap ceiling *)
+  deadline : float option;
+      (** give up once the next backoff would push the elapsed virtual
+          time past this many seconds since the first attempt *)
+}
+
+val policy :
+  ?retries:int -> ?base_delay:float -> ?max_delay:float -> ?deadline:float ->
+  unit -> policy
+(** Defaults: [retries = 3], [base_delay = 0.1], [max_delay = 5.],
+    no deadline. Raises [Invalid_argument] on negative values. *)
+
+val default : policy
+(** [policy ~deadline:30. ()] — the agent's per-source default. *)
+
+(** {1 Circuit breakers} *)
+
+type breaker
+(** Per-source breaker: after [threshold] consecutive failures it
+    opens for [cooldown] virtual seconds, during which calls fail
+    immediately; the first call after the cooldown is a half-open
+    probe that closes the breaker on success and re-opens it on
+    failure. *)
+
+val breaker : ?threshold:int -> ?cooldown:float -> clock:Vclock.t -> string -> breaker
+(** [breaker ~clock name]. Defaults: [threshold = 5],
+    [cooldown = 30.] virtual seconds. *)
+
+val breaker_state : breaker -> [ `Closed | `Open | `Half_open ]
+val trips : breaker -> int
+(** How many times the breaker has opened. *)
+
+val record_failure : breaker -> unit
+val record_success : breaker -> unit
+(** Manual accounting, for callers driving a breaker without
+    {!call}. *)
+
+(** {1 Running} *)
+
+type 'a outcome = {
+  result : ('a, string) result;  (** the value, or the last error *)
+  attempts : int;  (** calls actually made (0 if the breaker was open) *)
+  backoff : float;  (** total virtual seconds slept between attempts *)
+}
+
+val call :
+  ?policy:policy ->
+  ?breaker:breaker ->
+  clock:Vclock.t ->
+  rng:Indaas_util.Prng.t ->
+  label:string ->
+  (unit -> 'a) ->
+  'a outcome
+(** Runs the thunk under the policy. {!Fault.Injected} and [Failure]
+    are transient and retried with full-jitter exponential backoff
+    (sleep uniform in [\[0, min max_delay (base_delay * 2^(n-1))\]]);
+    any other exception propagates immediately. Never raises for
+    transient errors: exhausted budgets and open breakers come back
+    as [Error]. *)

@@ -1,0 +1,13 @@
+type t = { mutable now : float }
+
+let create ?(start = 0.) () =
+  if start < 0. then invalid_arg "Vclock.create: negative start time";
+  { now = start }
+
+let now t = t.now
+
+let advance t seconds =
+  if seconds < 0. then invalid_arg "Vclock.advance: time cannot move backwards";
+  t.now <- t.now +. seconds
+
+let sleep = advance

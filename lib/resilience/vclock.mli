@@ -1,0 +1,25 @@
+(** A virtual clock.
+
+    Every time-dependent resilience primitive — retry backoff,
+    per-source deadlines, circuit-breaker cooldowns, injected timeouts
+    and message delays — reads and advances a [Vclock.t] instead of
+    the wall clock. Tests and the chaos harness therefore never sleep:
+    a 30-second backoff schedule executes in microseconds and is
+    byte-reproducible from a seed. *)
+
+type t
+(** Mutable monotonic clock. Not thread-safe; one per run. *)
+
+val create : ?start:float -> unit -> t
+(** A clock reading [start] (default [0.]) virtual seconds. *)
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val advance : t -> float -> unit
+(** Move time forward. Raises [Invalid_argument] on a negative
+    duration: the clock is monotonic. *)
+
+val sleep : t -> float -> unit
+(** Synonym for {!advance}, named for call sites that model a party
+    waiting (backoff, injected delay). *)

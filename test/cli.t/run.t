@@ -230,7 +230,108 @@ On a clean database --strict audits normally (warnings go to stderr):
   $ indaas sia --strict --db deps.xml --servers S1,S2 >/dev/null; echo done
   done
 
+Fault injection: --fault re-collects the database through the retry
+engine as a data source named "db". Dropped records degrade the audit
+instead of failing it; the report is prefixed with the degradation
+banner and carries the IND-R001 diagnostic. Note how the lost records
+hide both unexpected risk groups — incomplete data overestimates
+independence, which is exactly why degraded audits are flagged:
+
+  $ indaas sia --db deps.xml --servers S1,S2 --fault db=drop:0.4 --seed 7
+  *** DEGRADED AUDIT *** completeness 0.50 — incomplete dependency data can only OVERESTIMATE independence
+    - source db: degraded: 4 record(s) dropped (1 attempts)
+    4 record(s) lost, 0 retries spent
+  
+  Deployment: {S1, S2}
+    fault graph: fault graph: 14 nodes (5 basic, 9 gates), top=deployment(AND)
+    risk groups: 4 (expected minimal size 2)
+    unexpected RGs: 0
+    independence score: 10
+    lint: IND-R001 warning: report produced from a degraded collection (completeness 0.50); missing dependency data can only overestimate independence
+  +------+-------------------------+------+-------+------------+
+  | rank | risk group              | size | Pr(C) | importance |
+  +------+-------------------------+------+-------+------------+
+  |    1 | {S1-disk, ToR1}         |    2 |     - |          - |
+  |    2 | {libc6, ToR1}           |    2 |     - |          - |
+  |    3 | {S1-disk, Core1, Core2} |    3 |     - |          - |
+  |    4 | {libc6, Core1, Core2}   |    3 |     - |          - |
+  +------+-------------------------+------+-------+------------+
+
+
+A fault that the retry budget absorbs leaves the audit complete — no
+banner, no diagnostic, same result as the clean run:
+
+  $ indaas sia --db deps.xml --servers S1,S2 --fault db=flaky:2 --seed 7 | head -1
+  Deployment: {S1, S2}
+
+--strict refuses to audit from a degraded collection:
+
+  $ indaas sia --db deps.xml --servers S1,S2 --fault db=drop:0.4 --seed 7 --strict 2>&1 | tail -1
+  refusing to audit: dependency collection was degraded
+  $ indaas sia --db deps.xml --servers S1,S2 --fault db=drop:0.4 --seed 7 --strict >/dev/null 2>&1
+  [1]
+
+The chaos harness: N audit trials under a named fault plan, entirely
+on the virtual clock (no sleeping), byte-reproducible for a fixed
+seed:
+
+  $ indaas chaos --scenario sia-lab --plan crash-one --trials 5 --seed 42 | tee chaos1.txt
+  chaos: scenario "sia-lab" under plan "crash-one" — 5 trial(s), seed 42
+  plan: S2=crash
+  
+  +----------+--------+
+  | Outcome  | Trials |
+  +----------+--------+
+  | ok       |      0 |
+  | degraded |      5 |
+  | failed   |      0 |
+  +----------+--------+
+  collector attempts: 55, retries spent: 15
+  completeness: min 0.67, mean 0.67, max 0.67
+  distribution: [1.00] 0 [0.75,1.00) 0 [0.50,0.75) 5 [0.25,0.50) 0 [0.00,0.25) 0
+  errors (by frequency):
+    5x circuit breaker "S2" is open
+
+
+  $ indaas chaos --scenario sia-lab --plan crash-one --trials 5 --seed 42 > chaos2.txt
+  $ cmp chaos1.txt chaos2.txt && echo identical
+  identical
+
+A transient fault plan inside the retry budget: every trial recovers,
+with the retries accounted:
+
+  $ indaas chaos --plan flaky --trials 3 --seed 1
+  chaos: scenario "sia-lab" under plan "flaky" — 3 trial(s), seed 1
+  plan: *=flaky:2
+  
+  +----------+--------+
+  | Outcome  | Trials |
+  +----------+--------+
+  | ok       |      3 |
+  | degraded |      0 |
+  | failed   |      0 |
+  +----------+--------+
+  collector attempts: 81, retries spent: 54
+  completeness: min 1.00, mean 1.00, max 1.00
+  distribution: [1.00] 3 [0.75,1.00) 0 [0.50,0.75) 0 [0.25,0.50) 0 [0.00,0.25) 0
+
+
+The catalogue of scenarios and plans:
+
+  $ indaas chaos --list
+  scenarios:
+    sia-lab      3-source SIA lab (S1/S2 share a switch), size ranking, 2-way
+    pia-clouds   3-provider PIA (software sets, P-SOP over 128-bit group), 2-way
+  plans:
+    none         no faults — the control run
+    crash-one    the second data source is permanently down
+    flaky        every source fails its first two calls, then recovers
+    lossy        every source drops 30% of its records
+    corrupt      every source mangles 20% of its component identifiers
+    slow-source  the last source times out on every call
+    partition    the PIA transport loses 20% of messages
+
 The registry documents every stable error code:
 
   $ indaas lint --rules | grep -c IND-
-  15
+  16

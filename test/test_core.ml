@@ -132,6 +132,128 @@ let test_agent_probability_metric () =
       check Alcotest.bool "has Pr" true (report.Sia_audit.failure_probability <> None)
   | _ -> Alcotest.fail "one report expected"
 
+(* --- Agent under faults -------------------------------------------------- *)
+
+module Fault = Indaas_resilience.Fault
+module Retry = Indaas_resilience.Retry
+module Degradation = Indaas_resilience.Degradation
+module Diagnostic = Indaas_lint.Diagnostic
+
+let three_lab_sources () =
+  lab_sources ()
+  @ [
+      Agent.data_source ~name:"S3"
+        [
+          Collectors.static ~name:"net"
+            [ Dependency.network ~src:"S3" ~dst:"I" ~route:[ "sw2" ] ];
+          Collectors.lshw [ Collectors.standard_profile "S3" ];
+          Collectors.apt_rdepends [ (Catalog.MongoDB, "S3") ];
+        ];
+    ]
+
+(* The issue's acceptance scenario: three sources, one permanently
+   down — the audit completes, reports degradation, raises nothing. *)
+let test_agent_run_with_crashed_source () =
+  let spec = Spec.create ~redundancy:2 [ "S1"; "S2"; "S3" ] in
+  let faults = Fault.injector ~seed:42 (Fault.plan [ ("S2", Fault.Crash) ]) in
+  let run = Agent.run ~faults spec (three_lab_sources ()) in
+  let deg = run.Agent.degradation in
+  check Alcotest.bool "degraded" true (Degradation.degraded deg);
+  check Alcotest.bool "completeness < 1" true (deg.Degradation.completeness < 1.);
+  check (Alcotest.list Alcotest.string) "S2 failed" [ "S2" ]
+    (Degradation.failed_sources deg);
+  check Alcotest.bool "retries were spent" true (deg.Degradation.retries > 0);
+  (match run.Agent.outcome with
+  | Agent.Sia_outcome reports ->
+      (* Only {S1, S3} survives; candidates including S2 are skipped. *)
+      check Alcotest.int "one viable deployment" 1 (List.length reports);
+      let r = List.hd reports in
+      check (Alcotest.list Alcotest.string) "servers" [ "S1"; "S3" ]
+        r.Sia_audit.servers;
+      check Alcotest.bool "IND-R001 attached" true
+        (List.exists
+           (fun d -> d.Diagnostic.code = "IND-R001")
+           r.Sia_audit.diagnostics)
+  | Agent.Pia_outcome _ -> Alcotest.fail "SIA outcome expected");
+  check Alcotest.bool "render flags degradation" true
+    (Astring.String.is_infix ~affix:"DEGRADED AUDIT" (Agent.render run))
+
+let test_agent_run_without_faults_is_complete () =
+  let spec = Spec.create ~redundancy:2 [ "S1"; "S2" ] in
+  let run = Agent.run spec (lab_sources ()) in
+  check Alcotest.bool "not degraded" false
+    (Degradation.degraded run.Agent.degradation);
+  (match run.Agent.outcome with
+  | Agent.Sia_outcome [ r ] ->
+      check Alcotest.bool "no IND-R001" false
+        (List.exists
+           (fun d -> d.Diagnostic.code = "IND-R001")
+           r.Sia_audit.diagnostics)
+  | _ -> Alcotest.fail "one report expected");
+  check Alcotest.bool "no banner" false
+    (Astring.String.is_infix ~affix:"DEGRADED AUDIT" (Agent.render run))
+
+let test_agent_flaky_source_recovers () =
+  (* flaky:2 is within the default budget of 3 retries: the run ends
+     complete, with the retries accounted. *)
+  let spec = Spec.create ~redundancy:2 [ "S1"; "S2" ] in
+  let faults = Fault.injector ~seed:7 (Fault.plan [ ("*", Fault.Flaky_until 2) ]) in
+  let run = Agent.run ~faults spec (lab_sources ()) in
+  let deg = run.Agent.degradation in
+  check Alcotest.bool "complete" false (Degradation.degraded deg);
+  check (Alcotest.float 1e-12) "completeness 1" 1. deg.Degradation.completeness;
+  check Alcotest.bool "retries accounted" true (deg.Degradation.retries > 0);
+  check Alcotest.int "db intact" 12 run.Agent.database_size
+
+let test_agent_duplicate_source_rejected () =
+  let spec = Spec.create ~redundancy:2 [ "S1"; "S2" ] in
+  let sources = lab_sources () @ [ Agent.data_source ~name:"S1" [] ] in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Agent.run: duplicate data source name \"S1\"") (fun () ->
+      ignore (Agent.run spec sources))
+
+let test_agent_pia_excludes_dead_provider () =
+  let spec =
+    Spec.create ~metric:Spec.Jaccard_similarity ~kinds:[ Spec.Software ]
+      ~redundancy:2 [ "S1"; "S2"; "S3" ]
+  in
+  let faults = Fault.injector ~seed:5 (Fault.plan [ ("S3", Fault.Crash) ]) in
+  let run =
+    Agent.run ~faults ~pia_protocol:Pia_audit.Cleartext spec
+      (three_lab_sources ())
+  in
+  check Alcotest.bool "degraded" true (Degradation.degraded run.Agent.degradation);
+  (match run.Agent.outcome with
+  | Agent.Pia_outcome report ->
+      (* Only the surviving pair is measured. *)
+      check Alcotest.int "one pair" 1 (List.length report.Pia_audit.results);
+      check (Alcotest.list Alcotest.string) "S1 & S2"
+        [ "S1"; "S2" ]
+        (List.hd report.Pia_audit.results).Pia_audit.providers
+  | _ -> Alcotest.fail "PIA outcome expected");
+  (* With both of the surviving providers needed, a second crash would
+     leave fewer than [redundancy] and must raise Failure. *)
+  let faults =
+    Fault.injector ~seed:5
+      (Fault.plan [ ("S3", Fault.Crash); ("S2", Fault.Crash) ])
+  in
+  check Alcotest.bool "insufficient providers raise" true
+    (try
+       ignore
+         (Agent.run ~faults ~pia_protocol:Pia_audit.Cleartext spec
+            (three_lab_sources ()));
+       false
+     with Failure _ -> true)
+
+let test_collect_resilient_no_faults_matches_collect () =
+  let sources = lab_sources () in
+  let db, deg = Agent.collect_resilient ~retry:Retry.default sources in
+  check Alcotest.bool "complete" false (Degradation.degraded deg);
+  let spec = Spec.create ~redundancy:2 [ "S1"; "S2" ] in
+  check Alcotest.int "same records as fail-fast collect"
+    (Depdb.size (Agent.collect spec sources))
+    (Depdb.size db)
+
 (* --- Scenario: §6.2.1 --------------------------------------------------- *)
 
 let network_case = lazy (Scenario.run_network_case ())
@@ -374,6 +496,21 @@ let () =
           Alcotest.test_case "PIA run" `Quick test_agent_pia_run;
           Alcotest.test_case "render and best" `Quick test_agent_render_and_best;
           Alcotest.test_case "probability metric" `Quick test_agent_probability_metric;
+        ] );
+      ( "agent-resilience",
+        [
+          Alcotest.test_case "crashed source degrades" `Quick
+            test_agent_run_with_crashed_source;
+          Alcotest.test_case "no faults is complete" `Quick
+            test_agent_run_without_faults_is_complete;
+          Alcotest.test_case "flaky source recovers" `Quick
+            test_agent_flaky_source_recovers;
+          Alcotest.test_case "duplicate source rejected" `Quick
+            test_agent_duplicate_source_rejected;
+          Alcotest.test_case "PIA excludes dead provider" `Quick
+            test_agent_pia_excludes_dead_provider;
+          Alcotest.test_case "collect_resilient matches collect" `Quick
+            test_collect_resilient_no_faults_matches_collect;
         ] );
       ( "network-case",
         [

@@ -168,12 +168,56 @@ let test_transport_accounting () =
 
 let test_transport_validation () =
   let t = Transport.create ~parties:2 in
-  Alcotest.check_raises "self-send" (Invalid_argument "Transport.send: src = dst")
-    (fun () -> Transport.send t ~src:0 ~dst:0 1);
-  Alcotest.check_raises "bad dst" (Invalid_argument "Transport.send: bad dst")
-    (fun () -> Transport.send t ~src:0 ~dst:5 1);
-  Alcotest.check_raises "negative" (Invalid_argument "Transport.send: negative size")
-    (fun () -> Transport.send t ~src:0 ~dst:1 (-1))
+  Alcotest.check_raises "self-send"
+    (Invalid_argument "Transport.send: party 0 cannot send to itself") (fun () ->
+      Transport.send t ~src:0 ~dst:0 1);
+  Alcotest.check_raises "bad dst"
+    (Invalid_argument "Transport.send: dst 5 outside [0, 2)") (fun () ->
+      Transport.send t ~src:0 ~dst:5 1);
+  Alcotest.check_raises "bad src"
+    (Invalid_argument "Transport.send: src -1 outside [0, 2)") (fun () ->
+      Transport.send t ~src:(-1) ~dst:1 1);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Transport.send: negative size -1 on 0 -> 1") (fun () ->
+      Transport.send t ~src:0 ~dst:1 (-1));
+  Alcotest.check_raises "no parties"
+    (Invalid_argument "Transport.create: parties must be positive (got 0)")
+    (fun () -> ignore (Transport.create ~parties:0))
+
+let test_transport_zero_byte_send () =
+  (* Zero-byte messages are legal: they count as messages without
+     moving any bytes (a pure control round). *)
+  let t = Transport.create ~parties:2 in
+  Transport.send t ~src:0 ~dst:1 0;
+  check Alcotest.int "one message" 1 (Transport.messages t);
+  check Alcotest.int "no bytes" 0 (Transport.total_bytes t)
+
+let test_transport_single_party_broadcast () =
+  (* A single party has nobody to broadcast to: legal no-op. *)
+  let t = Transport.create ~parties:1 in
+  Transport.broadcast t ~src:0 100;
+  check Alcotest.int "no messages" 0 (Transport.messages t);
+  check Alcotest.int "no bytes" 0 (Transport.total_bytes t)
+
+let test_transport_interceptor_drop () =
+  let t = Transport.create ~parties:2 in
+  Transport.set_interceptor t (fun ~src:_ ~dst:_ ~bytes:_ -> `Drop);
+  check Alcotest.bool "drop raises Injected" true
+    (try
+       Transport.send t ~src:0 ~dst:1 7;
+       false
+     with Indaas_resilience.Fault.Injected { target; fault } ->
+       target = "transport 0 -> 1" && fault = "message of 7 bytes dropped");
+  check Alcotest.int "counted" 1 (Transport.messages_dropped t);
+  check Alcotest.int "not delivered" 0 (Transport.messages t)
+
+let test_transport_interceptor_delay () =
+  let t = Transport.create ~parties:2 in
+  Transport.set_interceptor t (fun ~src:_ ~dst:_ ~bytes:_ -> `Delay 1.5);
+  Transport.send t ~src:0 ~dst:1 10;
+  Transport.send t ~src:1 ~dst:0 10;
+  check Alcotest.int "delivered" 2 (Transport.messages t);
+  check (Alcotest.float 1e-9) "delay accounted" 3. (Transport.delay_seconds t)
 
 (* --- Polynomial ------------------------------------------------------------ *)
 
@@ -426,6 +470,53 @@ let test_audit_correlated_flag () =
   in
   let report = Audit.audit ~way:2 providers in
   check Alcotest.bool "flagged" true (List.hd report.Audit.results).Audit.correlated
+
+let test_audit_duplicate_provider () =
+  let providers =
+    [ Audit.provider ~name:"A" [ "x" ]; Audit.provider ~name:"A" [ "y" ] ]
+  in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Audit.audit: duplicate provider name \"A\"") (fun () ->
+      ignore (Audit.audit ~way:2 providers));
+  Alcotest.check_raises "duplicate nofm"
+    (Invalid_argument "Audit.audit_nofm: duplicate provider name \"A\"")
+    (fun () -> ignore (Audit.audit_nofm ~n:2 ~m:2 providers))
+
+module Fault = Indaas_resilience.Fault
+
+let test_audit_degrades_under_message_loss () =
+  (* A transport that loses every message kills every P-SOP round;
+     with a fault plan installed the audit retries, then reports the
+     rounds as failed instead of crashing. *)
+  let providers =
+    [
+      Audit.provider ~name:"A" [ "x"; "y" ];
+      Audit.provider ~name:"B" [ "y"; "z" ];
+      Audit.provider ~name:"C" [ "z"; "w" ];
+    ]
+  in
+  let faults =
+    Fault.injector ~seed:7
+      (Fault.plan [ ("transport", Fault.Message_loss 1.0) ])
+  in
+  let report =
+    Audit.audit
+      ~protocol:(Audit.Psop { params = Some (Lazy.force shared_params) })
+      ~faults ~way:2 providers
+  in
+  check Alcotest.int "no measurements" 0 (List.length report.Audit.results);
+  check Alcotest.int "all three rounds failed" 3
+    (List.length report.Audit.failures);
+  let f = List.hd report.Audit.failures in
+  check Alcotest.bool "attempts spent" true (f.Audit.attempts > 1);
+  check Alcotest.bool "render flags degradation" true
+    (Astring.String.is_infix ~affix:"DEGRADED AUDIT" (Audit.render report))
+
+let test_audit_without_faults_is_complete () =
+  let report = Audit.audit ~way:2 (table2_providers ()) in
+  check Alcotest.int "no failures" 0 (List.length report.Audit.failures);
+  check Alcotest.bool "render has no banner" false
+    (Astring.String.is_infix ~affix:"DEGRADED AUDIT" (Audit.render report))
 
 (* --- properties ------------------------------------------------------------------ *)
 
@@ -777,6 +868,13 @@ let () =
         [
           Alcotest.test_case "accounting" `Quick test_transport_accounting;
           Alcotest.test_case "validation" `Quick test_transport_validation;
+          Alcotest.test_case "zero-byte send" `Quick test_transport_zero_byte_send;
+          Alcotest.test_case "single-party broadcast" `Quick
+            test_transport_single_party_broadcast;
+          Alcotest.test_case "interceptor drop" `Quick
+            test_transport_interceptor_drop;
+          Alcotest.test_case "interceptor delay" `Quick
+            test_transport_interceptor_delay;
         ] );
       ( "polynomial",
         [
@@ -818,6 +916,12 @@ let () =
           Alcotest.test_case "validation" `Quick test_audit_validation;
           Alcotest.test_case "render" `Quick test_audit_render;
           Alcotest.test_case "correlated flag" `Quick test_audit_correlated_flag;
+          Alcotest.test_case "duplicate provider" `Quick
+            test_audit_duplicate_provider;
+          Alcotest.test_case "degrades under message loss" `Quick
+            test_audit_degrades_under_message_loss;
+          Alcotest.test_case "complete without faults" `Quick
+            test_audit_without_faults_is_complete;
           Alcotest.test_case "nofm shape" `Quick test_nofm_shape;
           Alcotest.test_case "nofm ranking" `Quick test_nofm_ranking;
           Alcotest.test_case "nofm validation" `Quick test_nofm_validation;
