@@ -1,7 +1,12 @@
 (* Bechamel micro-benchmarks of the computational kernels every
    experiment is built from: bignum modexp (the unit of P-SOP/KS
    cost), hashing, fault-graph evaluation (the unit of sampling cost),
-   minimal-cut-set computation, and one P-SOP element operation. *)
+   minimal-cut-set computation, and one P-SOP element operation.
+
+   Also the RG-engine comparison: the bitset-kernel enumeration engine
+   vs the BDD minimal-solutions engine on sparse and dense graphs,
+   with the results persisted to BENCH_kernels.json as the repo's perf
+   baseline. *)
 
 open Bechamel
 open Toolkit
@@ -13,10 +18,13 @@ module Paillier = Indaas_crypto.Paillier
 module Oracle = Indaas_crypto.Oracle
 module Graph = Indaas_faultgraph.Graph
 module Cutset = Indaas_faultgraph.Cutset
+module Bdd = Indaas_faultgraph.Bdd
 module Fattree = Indaas_topology.Fattree
 module Depdb = Indaas_depdata.Depdb
 module Builder = Indaas_sia.Builder
 module Prng = Indaas_util.Prng
+module Json = Indaas_util.Json
+module Timing = Indaas_util.Timing
 
 let rng = Prng.of_int 0xBE7C
 
@@ -78,10 +86,233 @@ let tests =
         Graph.evaluate_into fat_graph ~values:eval_values));
     Test.make ~name:"minimal cut sets (2x12 component sets)"
       (Staged.stage (fun () -> ignore (Cutset.minimal_risk_groups small_graph)));
+    Test.make ~name:"BDD minsol (2x12 component sets)"
+      (Staged.stage (fun () -> ignore (Bdd.minimal_risk_groups small_graph)));
   ]
+
+(* --- RG engine comparison -------------------------------------------- *)
+
+type engine_outcome =
+  | Completed of { rgs : int; seconds : float }
+  | Budget_exceeded of { family : int; seconds : float }
+
+type engine_case = {
+  case_name : string;
+  graph : Graph.t;
+  budget : int option; (* max_family for the enumeration engine *)
+}
+
+(* [shared] components appear in every source: absorption keeps the
+   minimized family small, which is the enumeration engine's happy
+   path. Disjoint sources multiply instead — the family is the full
+   c^s cross-product and only the BDD engine's shared structure
+   survives. *)
+let component_set_case name ~sources ~comps ~shared ~budget =
+  let source i =
+    ( Printf.sprintf "E%d" i,
+      List.init shared (Printf.sprintf "shared%d")
+      @ List.init comps (fun j -> Printf.sprintf "s%d_c%d" i j) )
+  in
+  {
+    case_name = name;
+    graph = Graph.of_component_sets (List.init sources source);
+    budget;
+  }
+
+let kofn_case name ~k ~sources ~comps ~budget =
+  let b = Graph.Builder.create () in
+  let gate i =
+    let ids =
+      List.init comps (fun j ->
+          Graph.Builder.add_basic b (Printf.sprintf "s%d_c%d" i j))
+    in
+    Graph.Builder.add_gate b ~name:(Printf.sprintf "E%d" i) Graph.Or ids
+  in
+  let gates = List.init sources gate in
+  let top = Graph.Builder.add_gate b ~name:"top" (Graph.Kofn k) gates in
+  { case_name = name; graph = Graph.Builder.build b ~top; budget }
+
+let engine_cases ~smoke =
+  if smoke then
+    [
+      component_set_case "sparse shared (3x4 + 1 shared)" ~sources:3 ~comps:4
+        ~shared:1 ~budget:None;
+      component_set_case "dense product (2x8, budget 20)" ~sources:2 ~comps:8
+        ~shared:0 ~budget:(Some 20);
+      kofn_case "2-of-3 x 4 (budget 10)" ~k:2 ~sources:3 ~comps:4
+        ~budget:(Some 10);
+    ]
+  else
+    let comps = Bench_common.scale ~quick:40 ~standard:100 ~full:300 in
+    let budget = Bench_common.scale ~quick:500 ~standard:2_000 ~full:20_000 in
+    let tri = Bench_common.scale ~quick:10 ~standard:15 ~full:25 in
+    let kofn_comps = Bench_common.scale ~quick:8 ~standard:12 ~full:20 in
+    [
+      component_set_case "2-way sparse (2x20 + 1 shared)" ~sources:2 ~comps:20
+        ~shared:1 ~budget:None;
+      component_set_case
+        (Printf.sprintf "3-way dense (3x%d + 1 shared)" tri)
+        ~sources:3 ~comps:tri ~shared:1 ~budget:None;
+      component_set_case
+        (Printf.sprintf "dense product (2x%d, budget %d)" comps budget)
+        ~sources:2 ~comps ~shared:0 ~budget:(Some budget);
+      kofn_case
+        (Printf.sprintf "3-of-8 x %d (budget %d)" kofn_comps budget)
+        ~k:3 ~sources:8 ~comps:kofn_comps ~budget:(Some budget);
+    ]
+
+let run_enum { graph; budget; _ } =
+  let f () =
+    match budget with
+    | None -> Cutset.minimal_risk_groups graph
+    | Some max_family -> Cutset.minimal_risk_groups ~max_family graph
+  in
+  match Timing.time (fun () -> try Ok (f ()) with e -> Error e) with
+  | Ok rgs, seconds -> (Completed { rgs = List.length rgs; seconds }, Some rgs)
+  | Error (Cutset.Too_many_cut_sets n), seconds ->
+      (Budget_exceeded { family = n; seconds }, None)
+  | Error e, _ -> raise e
+
+let run_bdd { graph; _ } =
+  let rgs, seconds = Timing.time (fun () -> Bdd.minimal_risk_groups graph) in
+  (Completed { rgs = List.length rgs; seconds }, Some rgs)
+
+let outcome_cell = function
+  | Completed { rgs; seconds } ->
+      Printf.sprintf "%d RGs in %s" rgs (Bench_common.seconds seconds)
+  | Budget_exceeded { family; seconds } ->
+      Printf.sprintf "budget trip (%d) in %s" family
+        (Bench_common.seconds seconds)
+
+let outcome_json budget = function
+  | Completed { rgs; seconds } ->
+      Json.Obj
+        [
+          ("status", Json.String "ok");
+          ("rgs", Json.Int rgs);
+          ("seconds", Json.Float seconds);
+        ]
+  | Budget_exceeded { family; seconds } ->
+      Json.Obj
+        [
+          ("status", Json.String "budget_exceeded");
+          ("family", Json.Int family);
+          ( "budget",
+            match budget with Some b -> Json.Int b | None -> Json.Null );
+          ("seconds", Json.Float seconds);
+        ]
+
+let compare_engines ~smoke =
+  Bench_common.subheading "RG engines: enumeration (bitset kernel) vs BDD minsol";
+  let table =
+    Indaas_util.Table.create
+      ~aligns:Indaas_util.Table.[ Left; Right; Right; Left ]
+      [ "case"; "enum"; "bdd"; "families" ]
+  in
+  let cases = engine_cases ~smoke in
+  let rows =
+    List.map
+      (fun case ->
+        let enum_outcome, enum_rgs = run_enum case in
+        let bdd_outcome, bdd_rgs = run_bdd case in
+        let families_equal =
+          match (enum_rgs, bdd_rgs) with
+          | Some a, Some b -> Some (a = b)
+          | _ -> None
+        in
+        let verdict =
+          match families_equal with
+          | Some true -> "identical"
+          | Some false -> "DIVERGED"
+          | None -> "bdd only"
+        in
+        Indaas_util.Table.add_row table
+          [
+            case.case_name;
+            outcome_cell enum_outcome;
+            outcome_cell bdd_outcome;
+            verdict;
+          ];
+        (case, enum_outcome, bdd_outcome, families_equal))
+      cases
+  in
+  Indaas_util.Table.print table;
+  (match
+     List.find_opt
+       (fun (_, enum_outcome, bdd_outcome, _) ->
+         match (enum_outcome, bdd_outcome) with
+         | Budget_exceeded _, Completed _ -> true
+         | _ -> false)
+       rows
+   with
+  | Some (case, _, _, _) ->
+      Bench_common.note
+        "BDD engine completed %S where enumeration exceeded its budget"
+        case.case_name
+  | None -> Bench_common.note "no case tripped the enumeration budget");
+  List.iter
+    (fun (case, _, _, families_equal) ->
+      if families_equal = Some false then
+        failwith
+          (Printf.sprintf "bench_kernels: engines diverged on %S" case.case_name))
+    rows;
+  rows
+
+let baseline_file = "BENCH_kernels.json"
+
+let emit_json ~smoke rows =
+  let mode_name =
+    if smoke then "smoke"
+    else
+      match !Bench_common.mode with
+      | Bench_common.Quick -> "quick"
+      | Bench_common.Standard -> "standard"
+      | Bench_common.Full -> "full"
+  in
+  let json =
+    Json.Obj
+      [
+        ("benchmark", Json.String "kernels");
+        ("mode", Json.String mode_name);
+        ( "cases",
+          Json.List
+            (List.map
+               (fun (case, enum_outcome, bdd_outcome, families_equal) ->
+                 Json.Obj
+                   [
+                     ("name", Json.String case.case_name);
+                     ("nodes", Json.Int (Graph.node_count case.graph));
+                     ( "basics",
+                       Json.Int (Array.length (Graph.basic_ids case.graph)) );
+                     ( "budget",
+                       match case.budget with
+                       | Some b -> Json.Int b
+                       | None -> Json.Null );
+                     ("enum", outcome_json case.budget enum_outcome);
+                     ("bdd", outcome_json None bdd_outcome);
+                     ( "families_equal",
+                       match families_equal with
+                       | Some b -> Json.Bool b
+                       | None -> Json.Null );
+                   ])
+               rows) );
+      ]
+  in
+  let oc = open_out baseline_file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~indent:true json);
+      output_char oc '\n');
+  Bench_common.note "wrote %s" baseline_file
+
+let run_smoke () =
+  Bench_common.heading "Kernel smoke: RG engine comparison";
+  emit_json ~smoke:true (compare_engines ~smoke:true)
 
 let run () =
   Bench_common.heading "Kernel micro-benchmarks (bechamel)";
+  emit_json ~smoke:false (compare_engines ~smoke:false);
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.8) () in
   let analysis =

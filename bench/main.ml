@@ -19,6 +19,9 @@ let experiments =
     ("case-hardware", "Case 6.2.2: hardware dependency", Bench_cases.hardware);
     ("case-software", "Case 6.2.3: software dependency", Bench_cases.software);
     ("kernels", "Bechamel kernel micro-benchmarks", Bench_kernels.run);
+    ( "kernels-smoke",
+      "Tiny RG-engine comparison (enum vs BDD) + BENCH_kernels.json",
+      Bench_kernels.run_smoke );
     ("ablation", "Ablations of DESIGN.md choices", Bench_ablation.run);
     ("validation", "Validation: audits vs simulated availability", Bench_validation.run);
   ]

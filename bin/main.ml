@@ -65,6 +65,44 @@ let algorithm_arg =
     & info [ "algorithm" ] ~docv:"ALG"
         ~doc:"Risk-group algorithm: $(b,minimal) (exact) or $(b,sampling).")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("enum", `Enum); ("bdd", `Bdd); ("auto", `Auto) ]) `Auto
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Exact minimal-RG engine: $(b,enum) (bottom-up enumeration with \
+           absorption), $(b,bdd) (symbolic BDD minimal-solutions pass, no \
+           family budget), or $(b,auto) (enumeration, falling back to BDD \
+           when the cut-set budget trips). All three return identical \
+           families. Ignored with --algorithm sampling.")
+
+let max_family_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-family" ] ~docv:"N"
+        ~doc:
+          "Cut-set budget of the $(b,enum) engine: abort (or, under \
+           $(b,--engine auto), switch to the BDD engine) when a minimized \
+           intermediate family exceeds $(docv) sets (default 500000).")
+
+(* Budget overruns of the enumeration engine surface as a clean error
+   instead of an uncaught Too_many_cut_sets crash. *)
+let with_budget_errors ?max_family f =
+  try f ()
+  with Indaas_faultgraph.Cutset.Too_many_cut_sets n ->
+    let budget =
+      match max_family with Some b -> b | None -> 500_000
+    in
+    Printf.eprintf
+      "indaas: minimal-RG enumeration aborted: a minimized cut-set \
+       family reached %d sets, over the --max-family budget of %d.\n\
+       Retry with --engine bdd (exact, no family budget) or raise \
+       --max-family.\n"
+      n budget;
+    exit 3
+
 let rounds_arg =
   Arg.(
     value & opt int 10_000
@@ -88,10 +126,14 @@ let required_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
-let make_request servers required algorithm rounds prob =
+let make_request servers required algorithm engine max_family rounds prob =
   let algorithm =
     match algorithm with
-    | `Minimal -> Sia_audit.minimal_rg
+    | `Minimal -> (
+        match engine with
+        | `Enum -> Sia_audit.Minimal_rg { max_size = None; max_family }
+        | `Bdd -> Sia_audit.Minimal_rg_bdd { max_size = None }
+        | `Auto -> Sia_audit.Auto_rg { max_size = None; max_family })
     | `Sampling -> Sia_audit.failure_sampling ~rounds
   in
   let component_probability = Option.map Builder.uniform_probability prob in
@@ -251,8 +293,8 @@ let parse_fault_entries specs =
     specs
 
 let sia_cmd =
-  let run db servers required algorithm rounds prob json seed strict disable
-      faults =
+  let run db servers required algorithm engine max_family rounds prob json seed
+      strict disable faults =
     let db = load_db db in
     (* Under --fault the database is re-collected through the fault
        injector and the retry engine, as if a flaky data source served
@@ -283,8 +325,12 @@ let sia_cmd =
     end;
     enforce_strict ~strict ~disable:(List.concat disable) db;
     let rng = Indaas_util.Prng.of_int seed in
-    let request = make_request servers required algorithm rounds prob in
-    let report = Sia_audit.audit ~rng db request in
+    let request =
+      make_request servers required algorithm engine max_family rounds prob
+    in
+    let report =
+      with_budget_errors ?max_family (fun () -> Sia_audit.audit ~rng db request)
+    in
     let report =
       match degradation with
       | Some d when degraded ->
@@ -330,8 +376,8 @@ let sia_cmd =
   let term =
     Term.(
       const run $ db_arg $ servers_arg $ required_arg $ algorithm_arg
-      $ rounds_arg $ prob_arg $ json_arg $ seed_arg $ strict_arg $ disable_arg
-      $ fault_arg)
+      $ engine_arg $ max_family_arg $ rounds_arg $ prob_arg $ json_arg
+      $ seed_arg $ strict_arg $ disable_arg $ fault_arg)
   in
   Cmd.v
     (Cmd.info "sia" ~doc:"Structural independence audit of one deployment.")
@@ -389,12 +435,18 @@ let chaos_cmd =
 (* --- indaas compare ------------------------------------------------------ *)
 
 let compare_cmd =
-  let run db candidates required algorithm rounds prob json seed =
+  let run db candidates required algorithm engine max_family rounds prob json
+      seed =
     let db = load_db db in
     let rng = Indaas_util.Prng.of_int seed in
-    let request = make_request [] required algorithm rounds prob in
+    let request =
+      make_request [] required algorithm engine max_family rounds prob
+    in
     let candidates = List.map (String.split_on_char ',') candidates in
-    let reports = Sia_audit.audit_candidates ~rng db ~candidates request in
+    let reports =
+      with_budget_errors ?max_family (fun () ->
+          Sia_audit.audit_candidates ~rng db ~candidates request)
+    in
     if json then
       print_endline
         (Indaas_util.Json.to_string ~indent:true
@@ -411,7 +463,8 @@ let compare_cmd =
   let term =
     Term.(
       const run $ db_arg $ candidates_arg $ required_arg $ algorithm_arg
-      $ rounds_arg $ prob_arg $ json_arg $ seed_arg)
+      $ engine_arg $ max_family_arg $ rounds_arg $ prob_arg $ json_arg
+      $ seed_arg)
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Rank candidate deployments by independence.")
@@ -577,14 +630,46 @@ let case_cmd =
 (* --- indaas dot ----------------------------------------------------------------- *)
 
 let dot_cmd =
-  let run db servers required output strict disable =
+  let run db servers required output strict disable engine max_family
+      highlight_rg =
     let db = load_db db in
     enforce_strict ~strict ~disable:(List.concat disable) db;
     let graph = Builder.build db (Builder.spec ~required servers) in
+    let highlight =
+      match highlight_rg with
+      | None -> None
+      | Some rank ->
+          if rank < 1 then begin
+            prerr_endline "indaas dot: --highlight-rg ranks start at 1";
+            exit 124
+          end;
+          let rgs =
+            with_budget_errors ?max_family (fun () ->
+                match engine with
+                | `Bdd -> Indaas_faultgraph.Bdd.minimal_risk_groups graph
+                | `Enum ->
+                    Indaas_faultgraph.Cutset.minimal_risk_groups ?max_family
+                      graph
+                | `Auto -> (
+                    try
+                      Indaas_faultgraph.Cutset.minimal_risk_groups ?max_family
+                        graph
+                    with Indaas_faultgraph.Cutset.Too_many_cut_sets _ ->
+                      Indaas_faultgraph.Bdd.minimal_risk_groups graph))
+          in
+          if rank > List.length rgs then begin
+            Printf.eprintf
+              "indaas dot: --highlight-rg %d, but the deployment has only %d \
+               minimal risk group(s)\n"
+              rank (List.length rgs);
+            exit 124
+          end;
+          Some (List.nth rgs (rank - 1))
+    in
     match output with
-    | None -> print_string (Dot.to_dot graph)
+    | None -> print_string (Dot.to_dot ?highlight graph)
     | Some path ->
-        Dot.write_file path graph;
+        Dot.write_file ?highlight path graph;
         Printf.printf "wrote %s\n" path
   in
   let output_arg =
@@ -593,11 +678,20 @@ let dot_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path (default stdout).")
   in
+  let highlight_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "highlight-rg" ] ~docv:"RANK"
+          ~doc:
+            "Highlight the $(docv)-th minimal risk group (1 = smallest, in \
+             canonical family order), computed with the selected --engine.")
+  in
   Cmd.v
     (Cmd.info "dot" ~doc:"Export a deployment's fault graph in Graphviz format.")
     Term.(
       const run $ db_arg $ servers_arg $ required_arg $ output_arg $ strict_arg
-      $ disable_arg)
+      $ disable_arg $ engine_arg $ max_family_arg $ highlight_arg)
 
 (* --- indaas importance ------------------------------------------------------------ *)
 
@@ -609,7 +703,10 @@ let importance_cmd =
         ~component_probability:(Builder.uniform_probability prob) servers
     in
     let graph = Builder.build db spec in
-    let rgs = Indaas_faultgraph.Cutset.minimal_risk_groups graph in
+    let rgs =
+      with_budget_errors (fun () ->
+          Indaas_faultgraph.Cutset.minimal_risk_groups graph)
+    in
     Printf.printf "Pr(deployment fails) = %.6g (exact, BDD)\n\n"
       (Indaas_faultgraph.Bdd.graph_probability graph);
     print_endline
@@ -684,7 +781,10 @@ let coverage_cmd =
     let db = load_db db in
     let graph = Builder.build db (Builder.spec ~required servers) in
     let rng = Indaas_util.Prng.of_int seed in
-    let rgs = Indaas_faultgraph.Cutset.minimal_risk_groups graph in
+    let rgs =
+      with_budget_errors (fun () ->
+          Indaas_faultgraph.Cutset.minimal_risk_groups graph)
+    in
     Printf.printf "%d minimal risk groups (exact)\n" (List.length rgs);
     let points =
       Indaas_faultgraph.Sampling.coverage ~failure_bias:bias rng graph

@@ -12,6 +12,17 @@ type manager = {
   unique : (int * int * int, int) Hashtbl.t; (* (var, low, high) -> node *)
   apply_cache : (int * int * int, int) Hashtbl.t; (* (op, a, b) -> node *)
   rank_to_basic : Graph.node_id array;
+  (* Minimal-solutions (Rauzy) pass: cut-set families live in a
+     zero-suppressed sub-store of the same manager. ZDD node 0 is the
+     empty family, node 1 the family {∅}; a decision node (x, lo, hi)
+     encodes lo ∪ {S ∪ {x} | S ∈ hi}. *)
+  mutable zvar : int array;
+  mutable zlow : int array;
+  mutable zhigh : int array;
+  mutable znext : int;
+  zunique : (int * int * int, int) Hashtbl.t;
+  zop_cache : (int * int * int, int) Hashtbl.t; (* (op, a, b) -> zdd *)
+  minsol_cache : (int, int) Hashtbl.t; (* bdd node -> zdd node *)
 }
 
 let terminal_false = 0
@@ -28,11 +39,20 @@ let create rank_to_basic =
       unique = Hashtbl.create 1024;
       apply_cache = Hashtbl.create 4096;
       rank_to_basic;
+      zvar = Array.make initial max_int;
+      zlow = Array.make initial (-1);
+      zhigh = Array.make initial (-1);
+      znext = 2;
+      zunique = Hashtbl.create 1024;
+      zop_cache = Hashtbl.create 4096;
+      minsol_cache = Hashtbl.create 1024;
     }
   in
   (* terminals carry an infinite rank so ordering checks are uniform *)
   m.var.(terminal_false) <- max_int;
   m.var.(terminal_true) <- max_int;
+  m.zvar.(terminal_false) <- max_int;
+  m.zvar.(terminal_true) <- max_int;
   m
 
 let grow m =
@@ -261,3 +281,160 @@ let is_terminal _ node =
   if node = terminal_false then Some false
   else if node = terminal_true then Some true
   else None
+
+(* --- minimal risk groups (Rauzy's minimal-solutions pass) ----------- *)
+
+(* The cut-set families below are zero-suppressed: a node whose
+   high-branch family is empty is its low branch, and skipped
+   variables mean "absent from every member", so there is no
+   don't-care collapse to corrupt set membership. *)
+
+let zgrow m =
+  let n = Array.length m.zvar in
+  let bigger default arr =
+    let a = Array.make (2 * n) default in
+    Array.blit arr 0 a 0 n;
+    a
+  in
+  m.zvar <- bigger max_int m.zvar;
+  m.zlow <- bigger (-1) m.zlow;
+  m.zhigh <- bigger (-1) m.zhigh
+
+let zmk m var low high =
+  if high = terminal_false then low
+  else
+    let key = (var, low, high) in
+    match Hashtbl.find_opt m.zunique key with
+    | Some node -> node
+    | None ->
+        if m.znext >= Array.length m.zvar then zgrow m;
+        let node = m.znext in
+        m.znext <- node + 1;
+        m.zvar.(node) <- var;
+        m.zlow.(node) <- low;
+        m.zhigh.(node) <- high;
+        Hashtbl.replace m.zunique key node;
+        node
+
+(* Family union (plain set union of members). *)
+let rec zunion m a b =
+  if a = b then a
+  else if a = terminal_false then b
+  else if b = terminal_false then a
+  else begin
+    let a, b = if a <= b then (a, b) else (b, a) in
+    let key = (0, a, b) in
+    match Hashtbl.find_opt m.zop_cache key with
+    | Some r -> r
+    | None ->
+        let va = m.zvar.(a) and vb = m.zvar.(b) in
+        let r =
+          if va = vb then
+            (* both decision nodes on the same variable (terminals have
+               rank max_int and were handled above except a = 1, which
+               has no equal-rank partner left) *)
+            zmk m va
+              (zunion m m.zlow.(a) m.zlow.(b))
+              (zunion m m.zhigh.(a) m.zhigh.(b))
+          else if va < vb then zmk m va (zunion m m.zlow.(a) b) m.zhigh.(a)
+          else zmk m vb (zunion m a m.zlow.(b)) m.zhigh.(b)
+        in
+        Hashtbl.replace m.zop_cache key r;
+        r
+  end
+
+(* [zwithout m a b]: the members of [a] that are supersets of no
+   member of [b] — Rauzy's "without" (a.k.a. subsume-difference). *)
+let rec zwithout m a b =
+  if a = terminal_false then terminal_false
+  else if b = terminal_false then a
+  else if b = terminal_true then terminal_false (* every set ⊇ ∅ *)
+  else if a = b then terminal_false
+  else if a = terminal_true then
+    (* ∅ is a superset of a member iff ∅ itself is one: chase b's
+       all-absent chain. *)
+    zwithout m a m.zlow.(b)
+  else begin
+    let key = (1, a, b) in
+    match Hashtbl.find_opt m.zop_cache key with
+    | Some r -> r
+    | None ->
+        let va = m.zvar.(a) and vb = m.zvar.(b) in
+        let r =
+          if va = vb then
+            (* members without x are subsumed only by b-members without
+               x; members with x by either kind (x dropped). *)
+            zmk m va
+              (zwithout m m.zlow.(a) m.zlow.(b))
+              (zwithout m m.zhigh.(a) (zunion m m.zlow.(b) m.zhigh.(b)))
+          else if va < vb then
+            (* no b-member contains x = va *)
+            zmk m va (zwithout m m.zlow.(a) b) (zwithout m m.zhigh.(a) b)
+          else
+            (* b-members containing vb cannot subsume: a lacks vb *)
+            zwithout m a m.zlow.(b)
+        in
+        Hashtbl.replace m.zop_cache key r;
+        r
+  end
+
+(* Minimal solutions of a monotone BDD (Rauzy 1993): with f = ite(x,
+   f1, f0) and f0 ⇒ f1, the minimal cut sets are MinCuts(f0) plus
+   {x} ∪ C for every C ∈ MinCuts(f1) subsuming no member of
+   MinCuts(f0). *)
+let rec minsol m n =
+  if n = terminal_false then terminal_false
+  else if n = terminal_true then terminal_true
+  else
+    match Hashtbl.find_opt m.minsol_cache n with
+    | Some z -> z
+    | None ->
+        let z0 = minsol m m.low.(n) in
+        let z1 = minsol m m.high.(n) in
+        let z = zmk m m.var.(n) z0 (zwithout m z1 z0) in
+        Hashtbl.replace m.minsol_cache n z;
+        z
+
+let family_size m z =
+  let memo = Hashtbl.create 256 in
+  let rec go z =
+    if z = terminal_false then 0
+    else if z = terminal_true then 1
+    else
+      match Hashtbl.find_opt memo z with
+      | Some c -> c
+      | None ->
+          let c = go m.zlow.(z) + go m.zhigh.(z) in
+          Hashtbl.replace memo z c;
+          c
+  in
+  go z
+
+let iter_family m f z =
+  let rec go acc z =
+    if z = terminal_false then ()
+    else if z = terminal_true then f (List.rev acc)
+    else begin
+      go acc m.zlow.(z);
+      go (m.zvar.(z) :: acc) m.zhigh.(z)
+    end
+  in
+  go [] z
+
+let minimal_rg_count g =
+  let m, top = of_graph g in
+  family_size m (minsol m top)
+
+let minimal_risk_groups ?(max_size = max_int) g =
+  let m, top = of_graph g in
+  let z = minsol m top in
+  let out = ref [] in
+  iter_family m
+    (fun ranks ->
+      if List.length ranks <= max_size then begin
+        let rg = Array.of_list (List.map (fun r -> m.rank_to_basic.(r)) ranks) in
+        Array.sort compare rg;
+        out := rg :: !out
+      end)
+    z;
+  Cutset.sort_family !out

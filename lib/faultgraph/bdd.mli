@@ -47,3 +47,26 @@ val prob_of_var : manager -> node -> Graph.node_id
 
 val is_terminal : manager -> node -> bool option
 (** [Some b] when the node is the constant [b]; [None] otherwise. *)
+
+(** {1 Minimal risk groups}
+
+    The second RG engine (besides {!Cutset.minimal_risk_groups}):
+    compile the top event into a BDD, then extract its minimal
+    solutions with Rauzy's [without]/[minsol] pass. Families are held
+    in a zero-suppressed sub-store of the manager, and [minsol],
+    [union] and [without] are all memoized there, so shared fault-graph
+    structure is minimized once — no explicit family enumeration until
+    the final read-out. Sound for the monotone functions fault graphs
+    denote (AND/OR/k-of-n over positive events). *)
+
+val minimal_risk_groups :
+  ?max_size:int -> Graph.t -> Graph.node_id array list
+(** All minimal RGs of the top event, in {!Cutset.sort_family} order —
+    the same family (and order) the enumeration engine returns.
+
+    @param max_size drop RGs larger than this bound from the result
+    (the symbolic pass itself is unbounded). *)
+
+val minimal_rg_count : Graph.t -> int
+(** Number of minimal RGs, counted on the shared family structure
+    without materializing any of them. *)

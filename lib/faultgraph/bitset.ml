@@ -1,0 +1,96 @@
+(* Packed bitsets over a fixed universe of node ids. One OCaml int
+   carries [bits_per_word] member bits, so subset / union / equality
+   on risk groups cost O(words) machine operations instead of a
+   sorted-array merge walk — this is the absorption kernel of the
+   enumeration engine. *)
+
+let bits_per_word = Sys.int_size (* 63 on 64-bit systems *)
+
+type t = int array
+
+let words_for width =
+  if width < 0 then invalid_arg "Bitset.create: negative width";
+  (width + bits_per_word - 1) / bits_per_word
+
+let create ~width = Array.make (max 1 (words_for width)) 0
+
+let mem (t : t) i =
+  let w = i / bits_per_word in
+  w < Array.length t && t.(w) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add (t : t) i =
+  let w = i / bits_per_word in
+  if w >= Array.length t then invalid_arg "Bitset.add: out of range";
+  t.(w) <- t.(w) lor (1 lsl (i mod bits_per_word))
+
+let of_sorted_array ~width (ids : int array) =
+  let t = create ~width in
+  Array.iter (fun i -> add t i) ids;
+  t
+
+let equal (a : t) (b : t) =
+  (* fixed width per universe: arrays have identical lengths *)
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+  Array.length b = n && go 0
+
+let subset (a : t) (b : t) =
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i) land lnot b.(i) = 0 && go (i + 1)) in
+  go 0
+
+let union (a : t) (b : t) : t =
+  let n = Array.length a in
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    out.(i) <- a.(i) lor b.(i)
+  done;
+  out
+
+let hash (t : t) = Hashtbl.hash t
+
+let popcount_word w =
+  let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
+  go 0 w
+
+let cardinal (t : t) =
+  Array.fold_left (fun acc w -> acc + popcount_word w) 0 t
+
+let min_elt_opt (t : t) =
+  let n = Array.length t in
+  let rec word i =
+    if i >= n then None
+    else if t.(i) = 0 then word (i + 1)
+    else begin
+      let w = ref t.(i) and bit = ref 0 in
+      while !w land 1 = 0 do
+        w := !w lsr 1;
+        incr bit
+      done;
+      Some ((i * bits_per_word) + !bit)
+    end
+  in
+  word 0
+
+let iter f (t : t) =
+  Array.iteri
+    (fun wi word ->
+      let w = ref word and bit = ref 0 in
+      while !w <> 0 do
+        if !w land 1 <> 0 then f ((wi * bits_per_word) + !bit);
+        w := !w lsr 1;
+        incr bit
+      done)
+    t
+
+let to_sorted_array (t : t) =
+  let out = Array.make (cardinal t) 0 in
+  let k = ref 0 in
+  iter
+    (fun i ->
+      out.(!k) <- i;
+      incr k)
+    t;
+  out
+
+let compare (a : t) (b : t) = Stdlib.compare a b

@@ -1,0 +1,34 @@
+(** Packed int-word bitsets over a fixed universe of node ids.
+
+    The enumeration engine's absorption loop is dominated by subset
+    and union tests on risk groups; packing each group into
+    [width/63]-word arrays turns both into a handful of machine-word
+    operations. All sets over one graph share the same width, so
+    operations never reallocate beyond the result. *)
+
+type t
+
+val bits_per_word : int
+
+val create : width:int -> t
+(** The empty set over a universe of ids in [\[0, width)]. *)
+
+val of_sorted_array : width:int -> int array -> t
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+(** In-place insertion. Raises [Invalid_argument] past the width. *)
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+(** [subset a b] is [a ⊆ b] in O(words). *)
+
+val union : t -> t -> t
+(** Fresh set; O(words). *)
+
+val cardinal : t -> int
+val min_elt_opt : t -> int option
+val iter : (int -> unit) -> t -> unit
+val to_sorted_array : t -> int array
+val hash : t -> int
+val compare : t -> t -> int

@@ -2,159 +2,126 @@ type rg = Graph.node_id array
 
 exception Too_many_cut_sets of int
 
-(* --- sorted-int-array set operations ------------------------------ *)
+(* --- canonical family order ---------------------------------------- *)
 
-let is_subset (a : rg) (b : rg) =
-  (* a ⊆ b, both sorted ascending *)
+let compare_rg (a : rg) (b : rg) =
   let la = Array.length a and lb = Array.length b in
-  if la > lb then false
+  if la <> lb then compare la lb
   else begin
-    let i = ref 0 and j = ref 0 in
-    while !i < la && !j < lb do
-      if a.(!i) = b.(!j) then begin
-        incr i;
-        incr j
-      end
-      else if a.(!i) > b.(!j) then incr j
-      else j := lb (* a.(!i) missing from b *)
-    done;
-    !i = la
+    let rec go i =
+      if i >= la then 0
+      else
+        let c = compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
   end
 
-let union (a : rg) (b : rg) : rg =
-  let la = Array.length a and lb = Array.length b in
-  let out = Array.make (la + lb) 0 in
-  let i = ref 0 and j = ref 0 and k = ref 0 in
-  while !i < la || !j < lb do
-    let take_a =
-      !j >= lb || (!i < la && a.(!i) <= b.(!j))
-    in
-    if take_a then begin
-      let v = a.(!i) in
-      if !j < lb && b.(!j) = v then incr j;
-      out.(!k) <- v;
-      incr i;
-      incr k
-    end
-    else begin
-      out.(!k) <- b.(!j);
-      incr j;
-      incr k
-    end
-  done;
-  if !k = la + lb then out else Array.sub out 0 !k
+let sort_family family = List.sort compare_rg family
 
-(* --- minimization (absorption) ------------------------------------ *)
+(* --- packed-bitset absorption kernel ------------------------------- *)
 
-module RgTbl = Hashtbl.Make (struct
-  type t = rg
+(* Families are carried through the bottom-up traversal as packed
+   bitsets over the graph's node-id universe (see {!Bitset}): the
+   absorption hot loop then costs O(words) per subset test instead of
+   a sorted-array merge walk. Sorted arrays only materialize at the
+   API boundary. *)
 
-  let equal (a : rg) (b : rg) = a = b
-  let hash (a : rg) = Hashtbl.hash a
+module BsTbl = Hashtbl.Make (struct
+  type t = Bitset.t
+
+  let equal = Bitset.equal
+  let hash = Bitset.hash
 end)
 
-(* Does the collection contain a (proper or improper) subset of [s]?
-   Two strategies: enumerate the 2^|s| sub-masks of [s] and probe the
-   hash table, or scan the accepted sets directly — whichever is
-   cheaper for the current sizes. Accepted sets are additionally
-   bucketed by their smallest element, so the scan only visits sets
-   whose minimum occurs in [s]. *)
-let enum_limit = 20
-
-let has_subset_in tbl by_min accepted_count s =
-  let n = Array.length s in
-  let enum_cost = if n >= enum_limit then max_int else 1 lsl n in
-  if enum_cost <= accepted_count * 4 then begin
-    (* Iterate over non-empty sub-masks. *)
+(* Keep only the minimal sets of a family. Candidates are visited
+   smallest-first; accepted sets are bucketed by their minimum element
+   so a candidate only probes buckets of elements it contains (any
+   subset's minimum is one of the candidate's own elements). *)
+let minimize (family : Bitset.t list) : Bitset.t list =
+  let sized = List.map (fun s -> (Bitset.cardinal s, s)) family in
+  let sorted = List.sort (fun (la, _) (lb, _) -> compare la lb) sized in
+  let seen = BsTbl.create (List.length family) in
+  let by_min : (int, Bitset.t list) Hashtbl.t = Hashtbl.create 64 in
+  let has_subset s =
     let found = ref false in
-    let total = 1 lsl n in
-    let mask = ref 1 in
-    while (not !found) && !mask < total do
-      let count = ref 0 in
-      for i = 0 to n - 1 do
-        if !mask land (1 lsl i) <> 0 then incr count
-      done;
-      let sub = Array.make !count 0 in
-      let k = ref 0 in
-      for i = 0 to n - 1 do
-        if !mask land (1 lsl i) <> 0 then begin
-          sub.(!k) <- s.(i);
-          incr k
-        end
-      done;
-      if RgTbl.mem tbl sub then found := true;
-      incr mask
-    done;
+    (try
+       Bitset.iter
+         (fun x ->
+           match Hashtbl.find_opt by_min x with
+           | None -> ()
+           | Some sets ->
+               if List.exists (fun t -> Bitset.subset t s) sets then begin
+                 found := true;
+                 raise Exit
+               end)
+         s
+     with Exit -> ());
     !found
-  end
-  else
-    (* Any accepted subset of [s] has its minimum element in [s]. *)
-    Array.exists
-      (fun x ->
-        match Hashtbl.find_opt by_min x with
-        | None -> false
-        | Some sets -> List.exists (fun t -> is_subset t s) sets)
-      s
-
-(* Keep only the minimal sets of a family. *)
-let minimize (family : rg list) : rg list =
-  let sorted =
-    List.sort (fun a b -> compare (Array.length a) (Array.length b)) family
   in
-  let tbl = RgTbl.create (List.length family) in
-  let by_min : (int, rg list) Hashtbl.t = Hashtbl.create 64 in
   let accepted = ref [] in
-  let accepted_count = ref 0 in
   List.iter
-    (fun s ->
-      if
-        (not (RgTbl.mem tbl s))
-        && not (has_subset_in tbl by_min !accepted_count s)
-      then begin
-        RgTbl.replace tbl s ();
-        (match Array.length s with
-        | 0 -> ()
-        | _ ->
-            let min_elt = s.(0) in
+    (fun (_, s) ->
+      if (not (BsTbl.mem seen s)) && not (has_subset s) then begin
+        BsTbl.replace seen s ();
+        (match Bitset.min_elt_opt s with
+        | None -> ()
+        | Some min_elt ->
             let bucket =
               match Hashtbl.find_opt by_min min_elt with
               | Some l -> l
               | None -> []
             in
             Hashtbl.replace by_min min_elt (s :: bucket));
-        accepted := s :: !accepted;
-        incr accepted_count
+        accepted := s :: !accepted
       end)
     sorted;
   List.rev !accepted
 
-(* --- family combination ------------------------------------------- *)
+(* --- family combination -------------------------------------------- *)
 
 let check_budget ~max_family n =
   if n > max_family then raise (Too_many_cut_sets n)
 
+(* The budget measures *minimized* family sizes: a gate whose absorbed
+   family fits must not abort just because the raw concatenation or
+   cross-product transiently overshot. *)
+
 let or_combine ~max_family families =
-  let all = List.concat families in
-  check_budget ~max_family (List.length all);
-  minimize all
+  let merged = minimize (List.concat families) in
+  check_budget ~max_family (List.length merged);
+  merged
 
 let and_combine ~max_size ~max_family families =
   let product f1 f2 =
-    let out = ref [] in
-    let n = ref 0 in
+    (* Raw pairwise unions are absorbed in chunks so intermediate
+       memory stays O(max_family) while the budget still applies to
+       post-minimization growth only. *)
+    let flush_at = max 1024 max_family in
+    let acc = ref [] and buf = ref [] and buf_n = ref 0 in
+    let flush () =
+      if !buf_n > 0 then begin
+        let merged = minimize (List.rev_append !buf !acc) in
+        check_budget ~max_family (List.length merged);
+        acc := merged;
+        buf := [];
+        buf_n := 0
+      end
+    in
     List.iter
       (fun a ->
         List.iter
           (fun b ->
-            let u = union a b in
-            if Array.length u <= max_size then begin
-              out := u :: !out;
-              incr n;
-              check_budget ~max_family !n
+            let u = Bitset.union a b in
+            if Bitset.cardinal u <= max_size then begin
+              buf := u :: !buf;
+              incr buf_n;
+              if !buf_n >= flush_at then flush ()
             end)
           f2)
       f1;
-    minimize !out
+    flush ();
+    !acc
   in
   match families with
   | [] -> invalid_arg "Cutset.and_combine: empty"
@@ -176,13 +143,14 @@ let iter_ksubsets k xs f =
   if k >= 0 && k <= n then go 0 0
 
 let minimal_risk_groups ?(max_size = max_int) ?(max_family = 500_000) g =
-  let memo : rg list option array = Array.make (Graph.node_count g) None in
+  let width = Graph.node_count g in
+  let memo : Bitset.t list option array = Array.make width None in
   Array.iter
     (fun id ->
       let n = Graph.node g id in
       let family =
         match n.Graph.kind with
-        | Graph.Basic _ -> [ [| id |] ]
+        | Graph.Basic _ -> [ Bitset.of_sorted_array ~width [| id |] ]
         | Graph.Gate gate ->
             let child_families =
               Array.to_list
@@ -205,7 +173,9 @@ let minimal_risk_groups ?(max_size = max_int) ?(max_family = 500_000) g =
       in
       memo.(id) <- Some family)
     (Graph.topological_order g);
-  match memo.(Graph.top g) with Some f -> f | None -> assert false
+  match memo.(Graph.top g) with
+  | Some f -> sort_family (List.map Bitset.to_sorted_array f)
+  | None -> assert false
 
 let names g rg = Array.to_list (Array.map (fun id -> Graph.name_of g id) rg)
 
@@ -220,6 +190,13 @@ let is_minimal_risk_group g ids =
        (fun removed ->
          not (is_risk_group g (List.filter (fun x -> x <> removed) ids)))
        ids
+
+module RgTbl = Hashtbl.Make (struct
+  type t = rg
+
+  let equal (a : rg) (b : rg) = a = b
+  let hash (a : rg) = Hashtbl.hash a
+end)
 
 module RgSet = struct
   type t = unit RgTbl.t

@@ -1,13 +1,18 @@
 module Graph = Indaas_faultgraph.Graph
 module Cutset = Indaas_faultgraph.Cutset
+module Bdd = Indaas_faultgraph.Bdd
 module Sampling = Indaas_faultgraph.Sampling
 module Prng = Indaas_util.Prng
 
 type rg_algorithm =
   | Minimal_rg of { max_size : int option; max_family : int option }
+  | Minimal_rg_bdd of { max_size : int option }
+  | Auto_rg of { max_size : int option; max_family : int option }
   | Failure_sampling of Sampling.config
 
 let minimal_rg = Minimal_rg { max_size = None; max_family = None }
+let minimal_rg_bdd = Minimal_rg_bdd { max_size = None }
+let auto_rg = Auto_rg { max_size = None; max_family = None }
 
 let failure_sampling ~rounds =
   Failure_sampling { Sampling.default_config with Sampling.rounds }
@@ -45,6 +50,14 @@ let determine_rgs rng algorithm graph =
   match algorithm with
   | Minimal_rg { max_size; max_family } ->
       Cutset.minimal_risk_groups ?max_size ?max_family graph
+  | Minimal_rg_bdd { max_size } -> Bdd.minimal_risk_groups ?max_size graph
+  | Auto_rg { max_size; max_family } -> (
+      (* Enumeration with absorption is the fast path on the sparse
+         graphs audits usually see; when its family budget trips, the
+         symbolic engine computes the identical family without ever
+         materializing intermediate ones. *)
+      try Cutset.minimal_risk_groups ?max_size ?max_family graph
+      with Cutset.Too_many_cut_sets _ -> Bdd.minimal_risk_groups ?max_size graph)
   | Failure_sampling config ->
       (Sampling.run ~config rng graph).Sampling.risk_groups
 

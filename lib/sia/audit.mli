@@ -5,16 +5,33 @@
 
 module Graph = Indaas_faultgraph.Graph
 module Cutset = Indaas_faultgraph.Cutset
+module Bdd = Indaas_faultgraph.Bdd
 module Sampling = Indaas_faultgraph.Sampling
 
-(** Pluggable RG-determination backend (§4.1.2). *)
+(** Pluggable RG-determination backend (§4.1.2). The three exact
+    backends return the identical family in identical order. *)
 type rg_algorithm =
   | Minimal_rg of { max_size : int option; max_family : int option }
-      (** exact; worst-case exponential *)
+      (** bottom-up enumeration with absorption; exact, worst-case
+          exponential, raises {!Cutset.Too_many_cut_sets} past the
+          family budget *)
+  | Minimal_rg_bdd of { max_size : int option }
+      (** exact symbolic extraction: BDD compilation + Rauzy's
+          minimal-solutions pass ({!Bdd.minimal_risk_groups}) —
+          no family budget, slower on small sparse graphs *)
+  | Auto_rg of { max_size : int option; max_family : int option }
+      (** enumeration first; falls back to the BDD engine when the
+          enumeration budget trips *)
   | Failure_sampling of Sampling.config  (** linear-time, incomplete *)
 
 val minimal_rg : rg_algorithm
 (** [Minimal_rg] with no size bound and the default family budget. *)
+
+val minimal_rg_bdd : rg_algorithm
+(** [Minimal_rg_bdd] with no size bound. *)
+
+val auto_rg : rg_algorithm
+(** [Auto_rg] with no size bound and the default family budget. *)
 
 val failure_sampling : rounds:int -> rg_algorithm
 (** Sampling with the paper's fair coins and witness shrinking. *)

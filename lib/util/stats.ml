@@ -75,7 +75,12 @@ module Welford = struct
     t.m2 <- t.m2 +. (delta *. (x -. t.mean))
 
   let count t = t.n
-  let mean t = if t.n = 0 then nan else t.mean
+
+  let mean t =
+    (* Raising matches Stats.mean on an empty array: a silent nan
+       poisons downstream aggregates instead of failing at the source. *)
+    if t.n = 0 then invalid_arg "Stats.Welford.mean: empty accumulator"
+    else t.mean
   let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
   let stddev t = sqrt (variance t)
 end

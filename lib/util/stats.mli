@@ -32,7 +32,11 @@ module Welford : sig
   val create : unit -> t
   val add : t -> float -> unit
   val count : t -> int
+
   val mean : t -> float
+  (** Raises [Invalid_argument] on an empty accumulator — the same
+      contract as {!Stats.mean} on an empty array. *)
+
   val variance : t -> float
   val stddev : t -> float
 end

@@ -335,3 +335,39 @@ The registry documents every stable error code:
 
   $ indaas lint --rules | grep -c IND-
   16
+
+The two exact RG engines return byte-identical reports:
+
+  $ indaas sia --db deps.xml --servers S1,S2 --engine enum > enum.txt; echo "exit $?"
+  exit 2
+  $ indaas sia --db deps.xml --servers S1,S2 --engine bdd > bdd.txt; echo "exit $?"
+  exit 2
+  $ cmp enum.txt bdd.txt && echo identical
+  identical
+
+A dense deployment (2 servers x 20 disjoint devices, 400 minimal RGs)
+overruns a small enumeration budget. With --engine enum that is a clean
+diagnostic and exit 3, not a crash:
+
+  $ for i in $(seq 0 19); do
+  >   echo "<hw=\"S1\" type=\"T$i\" dep=\"S1-hw$i\"/>"
+  >   echo "<hw=\"S2\" type=\"T$i\" dep=\"S2-hw$i\"/>"
+  > done > dense.xml
+  $ indaas sia --db dense.xml --servers S1,S2 --engine enum --max-family 100
+  indaas: minimal-RG enumeration aborted: a minimized cut-set family reached 400 sets, over the --max-family budget of 100.
+  Retry with --engine bdd (exact, no family budget) or raise --max-family.
+  [3]
+
+The default --engine auto falls back to the BDD engine and completes
+the same audit:
+
+  $ indaas sia --db dense.xml --servers S1,S2 --max-family 100 | grep "risk groups:"
+    risk groups: 400 (expected minimal size 2)
+
+Graphviz export can highlight one minimal risk group by rank:
+
+  $ indaas dot --db deps.xml --servers S1,S2 --highlight-rg 1 | grep -c fillcolor
+  1
+  $ indaas dot --db deps.xml --servers S1,S2 --highlight-rg 99
+  indaas dot: --highlight-rg 99, but the deployment has only 4 minimal risk group(s)
+  [124]

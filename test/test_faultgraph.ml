@@ -208,6 +208,36 @@ let test_max_family_budget () =
        false
      with Cutset.Too_many_cut_sets _ -> true)
 
+let test_or_budget_applies_after_minimize () =
+  (* 10 gates OR-ing over the same 20 basics: the raw concatenation is
+     200 sets, but absorption collapses it back to 20 singletons. A
+     budget of 50 sits between the two — it must NOT abort, because
+     max_family bounds minimized families, not raw concatenations. *)
+  let b = Graph.Builder.create () in
+  let basics =
+    List.init 20 (fun i -> Graph.Builder.add_basic b (Printf.sprintf "c%d" i))
+  in
+  let gates =
+    List.init 10 (fun i ->
+        Graph.Builder.add_gate b ~name:(Printf.sprintf "g%d" i) Graph.Or basics)
+  in
+  let top = Graph.Builder.add_gate b ~name:"top" Graph.Or gates in
+  let g = Graph.Builder.build b ~top in
+  let rgs = Cutset.minimal_risk_groups ~max_family:50 g in
+  check Alcotest.int "20 singletons" 20 (List.length rgs);
+  List.iter (fun rg -> check Alcotest.int "singleton" 1 (Array.length rg)) rgs
+
+let test_and_budget_applies_after_minimize () =
+  (* 2 sources over the SAME 20 components: the raw cross-product is
+     400 sets, but every pair {a,b} is absorbed by the singleton {a},
+     leaving 20 minimal RGs. A budget of 100 must not abort (contrast
+     with test_max_family_budget, where components are disjoint and the
+     400 survive minimization). *)
+  let comps = List.init 20 (fun i -> Printf.sprintf "c%d" i) in
+  let g = Graph.of_component_sets [ ("E1", comps); ("E2", comps) ] in
+  let rgs = Cutset.minimal_risk_groups ~max_family:100 g in
+  check Alcotest.int "20 singletons" 20 (List.length rgs)
+
 let test_is_risk_group () =
   let g = figure_4a () in
   let id name = Option.get (Graph.find_basic g name) in
@@ -610,6 +640,66 @@ let test_bdd_shares_structure () =
   let m, top = Bdd.of_graph g in
   check Alcotest.bool "compact" true (Bdd.node_count m top <= 32)
 
+(* --- BDD minimal-RG engine ---------------------------------------------- *)
+
+let test_bdd_engine_4a () =
+  let g = figure_4a () in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "figure 4a"
+    [ [ "A1"; "A3" ]; [ "A2" ] ]
+    (rg_names g (Bdd.minimal_risk_groups g))
+
+let test_bdd_engine_matches_enum () =
+  (* Byte-identical families on the deep figure-4c graph: same RGs, same
+     canonical order. *)
+  let g = figure_4c () in
+  check Alcotest.bool "identical families" true
+    (Bdd.minimal_risk_groups g = Cutset.minimal_risk_groups g)
+
+let test_bdd_engine_kofn () =
+  let b = Graph.Builder.create () in
+  let ids =
+    List.map (fun i -> Graph.Builder.add_basic b (Printf.sprintf "x%d" i)) [ 1; 2; 3 ]
+  in
+  let top = Graph.Builder.add_gate b ~name:"top" (Graph.Kofn 2) ids in
+  let g = Graph.Builder.build b ~top in
+  check Alcotest.bool "identical families" true
+    (Bdd.minimal_risk_groups g = Cutset.minimal_risk_groups g);
+  check Alcotest.int "three pairs" 3 (List.length (Bdd.minimal_risk_groups g))
+
+let test_bdd_engine_max_size () =
+  let g = figure_4c () in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "singletons only"
+    [ [ "ToR1" ]; [ "libc6" ] ]
+    (rg_names g (Bdd.minimal_risk_groups ~max_size:1 g))
+
+let test_bdd_engine_count () =
+  let g = figure_4c () in
+  check Alcotest.int "four minimal RGs" 4 (Bdd.minimal_rg_count g);
+  (* counting must agree with materialization on a denser graph *)
+  let comps prefix = List.init 12 (fun i -> Printf.sprintf "%s%d" prefix i) in
+  let dense = Graph.of_component_sets [ ("E1", comps "a"); ("E2", comps "b") ] in
+  check Alcotest.int "144 pairs" 144 (Bdd.minimal_rg_count dense)
+
+let test_bdd_engine_survives_enum_budget () =
+  (* The dense case the enumeration budget refuses: 2 x 20 disjoint
+     components, 400 minimal RGs. The BDD engine has no family budget
+     and must complete. *)
+  let comps prefix = List.init 20 (fun i -> Printf.sprintf "%s%d" prefix i) in
+  let g = Graph.of_component_sets [ ("E1", comps "a"); ("E2", comps "b") ] in
+  check Alcotest.bool "enum refuses" true
+    (try
+       ignore (Cutset.minimal_risk_groups ~max_family:100 g);
+       false
+     with Cutset.Too_many_cut_sets _ -> true);
+  let rgs = Bdd.minimal_risk_groups g in
+  check Alcotest.int "400 pairs" 400 (List.length rgs);
+  check Alcotest.bool "matches unbudgeted enum" true
+    (rgs = Cutset.minimal_risk_groups g)
+
 (* --- Importance --------------------------------------------------------- *)
 
 module Importance = Indaas_faultgraph.Importance
@@ -798,6 +888,61 @@ let prop_top_event_iff_some_rg_contained =
       done;
       !ok)
 
+(* Random multi-level DAGs with AND/OR/k-of-n gates, derived
+   deterministically from a seed so qcheck can shrink over seeds. *)
+let random_dag seed =
+  let rng = Prng.of_int seed in
+  let b = Graph.Builder.create () in
+  let n_basics = 3 + Prng.int rng 6 in
+  let basics =
+    List.init n_basics (fun i -> Graph.Builder.add_basic b (Printf.sprintf "c%d" i))
+  in
+  let nodes = ref (Array.of_list basics) in
+  let top = ref (List.hd basics) in
+  let n_gates = 2 + Prng.int rng 6 in
+  for i = 1 to n_gates do
+    let pool = !nodes in
+    let n_children = 1 + Prng.int rng (min 4 (Array.length pool)) in
+    let children =
+      List.sort_uniq compare
+        (List.init n_children (fun _ -> pool.(Prng.int rng (Array.length pool))))
+    in
+    let arity = List.length children in
+    let kind =
+      match Prng.int rng 3 with
+      | 0 -> Graph.And
+      | 1 -> Graph.Or
+      | _ -> Graph.Kofn (1 + Prng.int rng arity)
+    in
+    let gid = Graph.Builder.add_gate b ~name:(Printf.sprintf "g%d" i) kind children in
+    nodes := Array.append pool [| gid |];
+    top := gid
+  done;
+  Graph.Builder.build b ~top:!top
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"BDD and enumeration engines agree on random DAGs"
+    ~count:300
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let g = random_dag seed in
+      let enum = Cutset.minimal_risk_groups g in
+      let bdd = Bdd.minimal_risk_groups g in
+      (* identical families in identical canonical order *)
+      enum = bdd
+      && List.for_all
+           (fun rg -> Cutset.is_minimal_risk_group g (Array.to_list rg))
+           bdd)
+
+let prop_engines_agree_component_sets =
+  QCheck.Test.make
+    ~name:"engines agree on random component sets (with max_size)" ~count:200
+    gen_component_sets (fun sets ->
+      let g = Graph.of_component_sets sets in
+      Cutset.minimal_risk_groups g = Bdd.minimal_risk_groups g
+      && Cutset.minimal_risk_groups ~max_size:2 g
+         = Bdd.minimal_risk_groups ~max_size:2 g)
+
 let () =
   Alcotest.run "faultgraph"
     [
@@ -825,6 +970,10 @@ let () =
           Alcotest.test_case "k-of-n cut sets" `Quick test_kofn_cutsets;
           Alcotest.test_case "max_size prunes" `Quick test_max_size_prunes;
           Alcotest.test_case "max_family budget" `Quick test_max_family_budget;
+          Alcotest.test_case "OR budget is post-minimization" `Quick
+            test_or_budget_applies_after_minimize;
+          Alcotest.test_case "AND budget is post-minimization" `Quick
+            test_and_budget_applies_after_minimize;
           Alcotest.test_case "is_risk_group" `Quick test_is_risk_group;
           Alcotest.test_case "RgSet" `Quick test_rgset;
         ] );
@@ -880,6 +1029,17 @@ let () =
           Alcotest.test_case "terminals/size" `Quick test_bdd_terminals;
           Alcotest.test_case "structure sharing" `Quick test_bdd_shares_structure;
         ] );
+      ( "bdd-rg-engine",
+        [
+          Alcotest.test_case "figure 4a" `Quick test_bdd_engine_4a;
+          Alcotest.test_case "matches enumeration (4c)" `Quick
+            test_bdd_engine_matches_enum;
+          Alcotest.test_case "k-of-n" `Quick test_bdd_engine_kofn;
+          Alcotest.test_case "max_size filter" `Quick test_bdd_engine_max_size;
+          Alcotest.test_case "minimal_rg_count" `Quick test_bdd_engine_count;
+          Alcotest.test_case "survives enumeration budget" `Quick
+            test_bdd_engine_survives_enum_budget;
+        ] );
       ( "importance",
         [
           Alcotest.test_case "birnbaum known" `Quick test_birnbaum_known;
@@ -905,5 +1065,7 @@ let () =
           qtest prop_minimal_rgs_are_rgs;
           qtest prop_sampling_subset_of_minimal;
           qtest prop_top_event_iff_some_rg_contained;
+          qtest prop_engines_agree;
+          qtest prop_engines_agree_component_sets;
         ] );
     ]

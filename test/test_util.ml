@@ -195,6 +195,16 @@ let test_welford_matches_batch () =
   check (Alcotest.float 1e-9) "variance" (Stats.variance xs)
     (Stats.Welford.variance w)
 
+let test_welford_empty_raises () =
+  (* Same contract as Stats.mean on an empty array — no silent nan. *)
+  let w = Stats.Welford.create () in
+  Alcotest.check_raises "empty mean"
+    (Invalid_argument "Stats.Welford.mean: empty accumulator") (fun () ->
+      ignore (Stats.Welford.mean w));
+  (* variance/stddev of an empty accumulator stay 0, matching the
+     n < 2 convention of Stats.variance *)
+  check (Alcotest.float 1e-12) "variance 0" 0. (Stats.Welford.variance w)
+
 (* --- Table --------------------------------------------------------- *)
 
 let test_table_render () =
@@ -338,6 +348,7 @@ let () =
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "empty raises" `Quick test_empty_raises;
           Alcotest.test_case "welford" `Quick test_welford_matches_batch;
+          Alcotest.test_case "welford empty raises" `Quick test_welford_empty_raises;
           qtest prop_percentile_monotone;
         ] );
       ( "table",
