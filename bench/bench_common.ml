@@ -2,6 +2,7 @@
 
 module Timing = Indaas_util.Timing
 module Table = Indaas_util.Table
+module Json = Indaas_util.Json
 
 (* Workload scale: "quick" for CI-style smoke runs, "standard" for the
    default shape-reproducing run, "full" to push closer to paper
@@ -30,3 +31,21 @@ let note fmt = Printf.ksprintf (fun s -> Printf.printf "   %s\n" s) fmt
 
 let seconds = Timing.format_seconds
 let bytes = Timing.format_bytes
+
+(* Pretty-printed JSON artifact with a trailing newline — every
+   benchmark that persists a baseline goes through here. *)
+let write_json ~path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~indent:true json);
+      output_char oc '\n');
+  note "wrote %s" path
+
+(* Run a thunk under a fresh enabled observability scope and return
+   its result together with the recorded root spans — the per-phase
+   breakdown benchmarks embed next to their timings. *)
+let with_spans f =
+  let result, scoped = Indaas_obs.Registry.with_scope (fun _ -> f ()) in
+  (result, Indaas_obs.Registry.roots scoped)

@@ -213,8 +213,16 @@ let compare_engines ~smoke =
   let rows =
     List.map
       (fun case ->
-        let enum_outcome, enum_rgs = run_enum case in
-        let bdd_outcome, bdd_rgs = run_bdd case in
+        (* Both engine runs happen under one observability scope, so
+           the emitted baseline carries their span breakdown
+           (rg.enum / rg.bdd, with node and family counts) next to
+           the wall-clock numbers. *)
+        let (enum_outcome, enum_rgs, bdd_outcome, bdd_rgs), spans =
+          Bench_common.with_spans (fun () ->
+              let enum_outcome, enum_rgs = run_enum case in
+              let bdd_outcome, bdd_rgs = run_bdd case in
+              (enum_outcome, enum_rgs, bdd_outcome, bdd_rgs))
+        in
         let families_equal =
           match (enum_rgs, bdd_rgs) with
           | Some a, Some b -> Some (a = b)
@@ -233,25 +241,25 @@ let compare_engines ~smoke =
             outcome_cell bdd_outcome;
             verdict;
           ];
-        (case, enum_outcome, bdd_outcome, families_equal))
+        (case, enum_outcome, bdd_outcome, families_equal, spans))
       cases
   in
   Indaas_util.Table.print table;
   (match
      List.find_opt
-       (fun (_, enum_outcome, bdd_outcome, _) ->
+       (fun (_, enum_outcome, bdd_outcome, _, _) ->
          match (enum_outcome, bdd_outcome) with
          | Budget_exceeded _, Completed _ -> true
          | _ -> false)
        rows
    with
-  | Some (case, _, _, _) ->
+  | Some (case, _, _, _, _) ->
       Bench_common.note
         "BDD engine completed %S where enumeration exceeded its budget"
         case.case_name
   | None -> Bench_common.note "no case tripped the enumeration budget");
   List.iter
-    (fun (case, _, _, families_equal) ->
+    (fun (case, _, _, families_equal, _) ->
       if families_equal = Some false then
         failwith
           (Printf.sprintf "bench_kernels: engines diverged on %S" case.case_name))
@@ -277,7 +285,7 @@ let emit_json ~smoke rows =
         ( "cases",
           Json.List
             (List.map
-               (fun (case, enum_outcome, bdd_outcome, families_equal) ->
+               (fun (case, enum_outcome, bdd_outcome, families_equal, spans) ->
                  Json.Obj
                    [
                      ("name", Json.String case.case_name);
@@ -294,17 +302,13 @@ let emit_json ~smoke rows =
                        match families_equal with
                        | Some b -> Json.Bool b
                        | None -> Json.Null );
+                     ( "spans",
+                       Json.List (List.map Indaas_obs.Span.to_json spans) );
                    ])
                rows) );
       ]
   in
-  let oc = open_out baseline_file in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (Json.to_string ~indent:true json);
-      output_char oc '\n');
-  Bench_common.note "wrote %s" baseline_file
+  Bench_common.write_json ~path:baseline_file json
 
 let run_smoke () =
   Bench_common.heading "Kernel smoke: RG engine comparison";

@@ -27,6 +27,9 @@ module Table = Indaas_util.Table
 module Lint = Indaas_lint.Lint
 module Lint_reporter = Indaas_lint.Reporter
 module Diagnostic = Indaas_lint.Diagnostic
+module Obs = Indaas_obs.Registry
+module Obs_export = Indaas_obs.Export
+module Vclock = Indaas_resilience.Vclock
 open Cmdliner
 
 let read_file path =
@@ -125,6 +128,62 @@ let required_arg =
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+(* --- observability ----------------------------------------------------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record spans and metrics for this run and write them to $(docv) \
+           in Chrome trace_event format (loadable in about:tracing or \
+           Perfetto).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Record counters and histograms for this run and print them (plus \
+           a span summary) after the report.")
+
+(* Timestamps come from the real clock, or from a fault injector's
+   virtual clock when one drives the run — then the whole trace is a
+   function of the seed and two runs compare byte-identical. *)
+let enable_obs ?injector ~trace ~metrics ~seed () =
+  if metrics || trace <> None then begin
+    let clock =
+      match injector with
+      | Some inj ->
+          Obs.clock_of_seconds (fun () -> Vclock.now (Fault.clock inj))
+      | None -> Obs.real_clock
+    in
+    Obs.enable ~clock ~seed (Obs.current ())
+  end
+
+(* Exporters run after the report (and before any non-zero exit) so a
+   failing audit still leaves its trace behind. *)
+let finish_obs ~trace ~metrics () =
+  let reg = Obs.current () in
+  (match trace with
+  | Some path -> Obs_export.write_chrome_trace reg ~path
+  | None -> ());
+  if metrics then begin
+    print_newline ();
+    print_string (Obs_export.summary reg);
+    print_string (Indaas_obs.Metrics.render (Obs.metrics reg))
+  end
+
+(* IND-O001: a report is about to be emitted with recording on, but no
+   collector span was ever recorded — the trace is missing the
+   collection phase. *)
+let no_collector_spans ~disable () =
+  Obs.on ()
+  && (not (List.mem "IND-O001" disable))
+  && Obs_export.span_count ~name:"collect" (Obs.current ()) = 0
+  && Obs_export.span_count ~name:"collect.source" (Obs.current ()) = 0
 
 let make_request servers required algorithm engine max_family rounds prob =
   let algorithm =
@@ -294,56 +353,77 @@ let parse_fault_entries specs =
 
 let sia_cmd =
   let run db servers required algorithm engine max_family rounds prob json seed
-      strict disable faults =
-    let db = load_db db in
+      strict disable faults trace metrics =
+    let disable = List.concat disable in
     (* Under --fault the database is re-collected through the fault
        injector and the retry engine, as if a flaky data source served
        it: the audit then runs over whatever records survived. *)
-    let db, degradation =
+    let injector =
       match parse_fault_entries faults with
-      | [] -> (db, None)
-      | entries ->
-          let injector = Fault.injector ~seed (Fault.plan entries) in
-          let source =
-            Agent.data_source ~name:"db"
-              [ Collectors.static ~name:"records" (Depdb.records db) ]
-          in
-          let db, deg =
-            Agent.collect_resilient ~faults:injector
-              ~rng:(Indaas_util.Prng.of_int seed)
-              [ source ]
-          in
-          (db, Some deg)
+      | [] -> None
+      | entries -> Some (Fault.injector ~seed (Fault.plan entries))
     in
-    let degraded =
-      match degradation with Some d -> Degradation.degraded d | None -> false
-    in
-    if degraded && strict then begin
-      Option.iter (fun d -> prerr_endline (Degradation.render d)) degradation;
-      prerr_endline "refusing to audit: dependency collection was degraded";
-      exit 1
-    end;
-    enforce_strict ~strict ~disable:(List.concat disable) db;
-    let rng = Indaas_util.Prng.of_int seed in
-    let request =
-      make_request servers required algorithm engine max_family rounds prob
-    in
-    let report =
-      with_budget_errors ?max_family (fun () -> Sia_audit.audit ~rng db request)
-    in
-    let report =
-      match degradation with
-      | Some d when degraded ->
+    enable_obs ?injector ~trace ~metrics ~seed ();
+    let report, degradation, degraded =
+      Obs.with_span "sia.audit" @@ fun () ->
+      let db, degradation =
+        match injector with
+        | None -> (Obs.with_span "collect" (fun () -> load_db db), None)
+        | Some injector ->
+            let raw = load_db db in
+            let source =
+              Agent.data_source ~name:"db"
+                [ Collectors.static ~name:"records" (Depdb.records raw) ]
+            in
+            let db, deg =
+              Agent.collect_resilient ~faults:injector
+                ~rng:(Indaas_util.Prng.of_int seed)
+                [ source ]
+            in
+            (db, Some deg)
+      in
+      let degraded =
+        match degradation with Some d -> Degradation.degraded d | None -> false
+      in
+      if degraded && strict then begin
+        Option.iter (fun d -> prerr_endline (Degradation.render d)) degradation;
+        prerr_endline "refusing to audit: dependency collection was degraded";
+        exit 1
+      end;
+      enforce_strict ~strict ~disable db;
+      let rng = Indaas_util.Prng.of_int seed in
+      let request =
+        make_request servers required algorithm engine max_family rounds prob
+      in
+      let report =
+        with_budget_errors ?max_family (fun () ->
+            Sia_audit.audit ~rng db request)
+      in
+      let report =
+        match degradation with
+        | Some d when degraded ->
+            {
+              report with
+              Sia_audit.diagnostics =
+                Lint.degraded_collection
+                  ~completeness:d.Degradation.completeness
+                  ~failed_sources:(Degradation.failed_sources d)
+                :: report.Sia_audit.diagnostics;
+            }
+        | _ -> report
+      in
+      let report =
+        if no_collector_spans ~disable () then
           {
             report with
             Sia_audit.diagnostics =
-              Lint.degraded_collection ~completeness:d.Degradation.completeness
-                ~failed_sources:(Degradation.failed_sources d)
-              :: report.Sia_audit.diagnostics;
+              Lint.no_collector_spans :: report.Sia_audit.diagnostics;
           }
-      | _ -> report
+        else report
+      in
+      (report, degradation, degraded)
     in
-    if json then
+    if json then begin
       let report_json = Sia_report.deployment_to_json report in
       let payload =
         match degradation with
@@ -356,6 +436,7 @@ let sia_cmd =
               ]
       in
       print_endline (Indaas_util.Json.to_string ~indent:true payload)
+    end
     else begin
       if degraded then
         Option.iter
@@ -365,19 +446,19 @@ let sia_cmd =
           degradation;
       print_endline (Sia_report.render_deployment report)
     end;
-    if report.Sia_audit.unexpected <> [] then begin
-      if not json then
-        Printf.printf
-          "\nWARNING: %d unexpected risk group(s) — redundancy is undermined.\n"
-          (List.length report.Sia_audit.unexpected);
-      exit 2
-    end
+    if report.Sia_audit.unexpected <> [] && not json then
+      Printf.printf
+        "\nWARNING: %d unexpected risk group(s) — redundancy is undermined.\n"
+        (List.length report.Sia_audit.unexpected);
+    finish_obs ~trace ~metrics ();
+    if report.Sia_audit.unexpected <> [] then exit 2
   in
   let term =
     Term.(
       const run $ db_arg $ servers_arg $ required_arg $ algorithm_arg
       $ engine_arg $ max_family_arg $ rounds_arg $ prob_arg $ json_arg
-      $ seed_arg $ strict_arg $ disable_arg $ fault_arg)
+      $ seed_arg $ strict_arg $ disable_arg $ fault_arg $ trace_arg
+      $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "sia" ~doc:"Structural independence audit of one deployment.")
@@ -386,18 +467,25 @@ let sia_cmd =
 (* --- indaas chaos ------------------------------------------------------- *)
 
 let chaos_cmd =
-  let run scenario plan trials seed json list =
+  let run scenario plan trials seed json list trace metrics =
     if list then print_string (Chaos.list_text ())
-    else
+    else begin
+      (* The per-trial virtual clock is installed by the harness
+         itself (each trial re-points the registry clock at its
+         injector), so every recorded timestamp is a function of the
+         seed and the trace compares byte-identical across runs. *)
+      enable_obs ~trace ~metrics ~seed ();
       match Chaos.run ~seed ~scenario ~plan ~trials () with
       | summary ->
           if json then
             print_endline
               (Indaas_util.Json.to_string ~indent:true (Chaos.to_json summary))
-          else print_string (Chaos.render summary)
+          else print_string (Chaos.render summary);
+          finish_obs ~trace ~metrics ()
       | exception Invalid_argument msg ->
           Printf.eprintf "indaas chaos: %s\n" msg;
           exit 124
+    end
   in
   let scenario_arg =
     Arg.(
@@ -423,7 +511,7 @@ let chaos_cmd =
   let term =
     Term.(
       const run $ scenario_arg $ plan_arg $ trials_arg $ seed_arg $ json_arg
-      $ list_arg)
+      $ list_arg $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -436,14 +524,16 @@ let chaos_cmd =
 
 let compare_cmd =
   let run db candidates required algorithm engine max_family rounds prob json
-      seed =
-    let db = load_db db in
-    let rng = Indaas_util.Prng.of_int seed in
-    let request =
-      make_request [] required algorithm engine max_family rounds prob
-    in
-    let candidates = List.map (String.split_on_char ',') candidates in
+      seed trace metrics =
+    enable_obs ~trace ~metrics ~seed ();
     let reports =
+      Obs.with_span "sia.compare" @@ fun () ->
+      let db = Obs.with_span "collect" (fun () -> load_db db) in
+      let rng = Indaas_util.Prng.of_int seed in
+      let request =
+        make_request [] required algorithm engine max_family rounds prob
+      in
+      let candidates = List.map (String.split_on_char ',') candidates in
       with_budget_errors ?max_family (fun () ->
           Sia_audit.audit_candidates ~rng db ~candidates request)
     in
@@ -451,7 +541,8 @@ let compare_cmd =
       print_endline
         (Indaas_util.Json.to_string ~indent:true
            (Sia_report.comparison_to_json reports))
-    else print_endline (Sia_report.render_comparison reports)
+    else print_endline (Sia_report.render_comparison reports);
+    finish_obs ~trace ~metrics ()
   in
   let candidates_arg =
     Arg.(
@@ -464,7 +555,7 @@ let compare_cmd =
     Term.(
       const run $ db_arg $ candidates_arg $ required_arg $ algorithm_arg
       $ engine_arg $ max_family_arg $ rounds_arg $ prob_arg $ json_arg
-      $ seed_arg)
+      $ seed_arg $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Rank candidate deployments by independence.")
@@ -473,7 +564,10 @@ let compare_cmd =
 (* --- indaas pia ----------------------------------------------------------- *)
 
 let pia_cmd =
-  let run providers way protocol minhash_m key_bits nofm json seed =
+  let run providers way protocol minhash_m key_bits nofm json seed disable
+      trace metrics =
+    let disable = List.concat disable in
+    enable_obs ~trace ~metrics ~seed ();
     let rng = Indaas_util.Prng.of_int seed in
     let providers =
       List.map
@@ -501,16 +595,27 @@ let pia_cmd =
       | `Bloom -> Pia_audit.Bloom { bits = 4096; hashes = 4; flip = 0. }
       | `Clear -> Pia_audit.Cleartext
     in
-    match nofm with
+    (match nofm with
     | None ->
-        let report = Pia_audit.audit ~protocol ~rng ~way providers in
+        let report =
+          Obs.with_span "pia.audit" @@ fun () ->
+          Pia_audit.audit ~protocol ~rng ~way providers
+        in
         if json then
           print_endline
             (Indaas_util.Json.to_string ~indent:true (Pia_audit.to_json report))
         else print_endline (Pia_audit.render report)
     | Some n ->
-        let results = Pia_audit.audit_nofm ~protocol ~rng ~n ~m:way providers in
-        print_endline (Pia_audit.render_nofm ~n results)
+        let results =
+          Obs.with_span "pia.audit" @@ fun () ->
+          Pia_audit.audit_nofm ~protocol ~rng ~n ~m:way providers
+        in
+        print_endline (Pia_audit.render_nofm ~n results));
+    (* Provider sets come from files here, not from instrumented
+       collectors — surface that on the emitted report as IND-O001. *)
+    if no_collector_spans ~disable () then
+      prerr_endline (Lint_reporter.render [ Lint.no_collector_spans ]);
+    finish_obs ~trace ~metrics ()
   in
   let providers_arg =
     Arg.(
@@ -552,7 +657,7 @@ let pia_cmd =
   let term =
     Term.(
       const run $ providers_arg $ way_arg $ protocol_arg $ m_arg $ bits_arg
-      $ nofm_arg $ json_arg $ seed_arg)
+      $ nofm_arg $ json_arg $ seed_arg $ disable_arg $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "pia"

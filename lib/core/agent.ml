@@ -11,6 +11,7 @@ module Retry = Indaas_resilience.Retry
 module Vclock = Indaas_resilience.Vclock
 module Degradation = Indaas_resilience.Degradation
 module Lint = Indaas_lint.Lint
+module Obs = Indaas_obs.Registry
 
 let log_src = Logs.Src.create "indaas.agent" ~doc:"INDaaS auditing agent"
 
@@ -66,13 +67,17 @@ let check_unique_sources sources =
   go [] sources
 
 let collect spec sources =
+  Obs.with_span "collect" @@ fun () ->
   let db = Depdb.create () in
   List.iter
     (fun name ->
       let source = find_source sources name in
+      Obs.with_span "collect.source" ~attrs:[ ("source", name) ] @@ fun () ->
       List.iter
         (fun (m : Collectors.t) ->
           let records = m.Collectors.collect () in
+          Obs.incr "agent.module_calls";
+          Obs.incr ~by:(List.length records) "agent.records";
           Log.debug (fun f ->
               f "source %s: module %s produced %d records" name
                 m.Collectors.name (List.length records));
@@ -102,6 +107,7 @@ let collect_resilient ?faults ?retry ?clock ?(rng = Prng.of_int 0xC011EC7)
   in
   let policy = Option.value retry ~default:Retry.default in
   let retry_rng = Prng.split rng in
+  Obs.with_span "collect" @@ fun () ->
   let db = Depdb.create () in
   let retries = ref 0 in
   let reports =
@@ -113,6 +119,10 @@ let collect_resilient ?faults ?retry ?clock ?(rng = Prng.of_int 0xC011EC7)
         let modules_failed = ref 0 in
         let records = ref 0 in
         let last_error = ref "" in
+        let obs = Obs.current () in
+        let t0 = if Obs.enabled obs then Obs.now_ns obs else 0L in
+        Obs.with_span "collect.source" ~attrs:[ ("source", name) ]
+        @@ fun () ->
         List.iter
           (fun (m : Collectors.t) ->
             let m =
@@ -127,12 +137,16 @@ let collect_resilient ?faults ?retry ?clock ?(rng = Prng.of_int 0xC011EC7)
             in
             attempts := !attempts + outcome.Retry.attempts;
             retries := !retries + max 0 (outcome.Retry.attempts - 1);
+            Obs.incr "agent.module_calls";
+            Obs.incr ~by:(max 0 (outcome.Retry.attempts - 1)) "agent.retries";
             match outcome.Retry.result with
             | Ok rs ->
                 records := !records + List.length rs;
+                Obs.incr ~by:(List.length rs) "agent.records";
                 Depdb.add_all db rs
             | Error e ->
                 incr modules_failed;
+                Obs.incr "agent.module_failures";
                 last_error := e;
                 Log.warn (fun f ->
                     f "source %s: module %s failed after %d attempt(s): %s"
@@ -143,6 +157,12 @@ let collect_resilient ?faults ?retry ?clock ?(rng = Prng.of_int 0xC011EC7)
           | Some inj -> Fault.records_dropped inj ~source:name
           | None -> 0
         in
+        if Obs.enabled obs then begin
+          Obs.incr ~by:(Retry.trips breaker) "agent.breaker_trips";
+          Obs.incr ~by:records_lost "agent.records_lost";
+          Obs.observe "agent.source_seconds"
+            (Int64.to_float (Int64.sub (Obs.now_ns obs) t0) /. 1e9)
+        end;
         let modules_total = List.length source.modules in
         let status =
           if modules_total > 0 && !modules_failed = modules_total then

@@ -9,6 +9,8 @@ module Degradation = Indaas_resilience.Degradation
 module Prng = Indaas_util.Prng
 module Table = Indaas_util.Table
 module Json = Indaas_util.Json
+module Vclock = Indaas_resilience.Vclock
+module Obs = Indaas_obs.Registry
 
 (* --- Scenarios --------------------------------------------------------- *)
 
@@ -153,6 +155,14 @@ let run_degraded (run : Agent.audit_run) =
 
 let one_trial scenario entries retry ~seed =
   let faults = Fault.injector ~seed (Fault.plan entries) in
+  (* Each trial gets a fresh virtual clock (the injector's), so when
+     recording is on every span timestamp is a function of the seed
+     alone and a chaos trace is byte-identical run to run. *)
+  if Obs.on () then
+    Obs.set_clock (Obs.current ())
+      (Obs.clock_of_seconds (fun () -> Vclock.now (Fault.clock faults)));
+  Obs.with_span "chaos.trial" ~attrs:[ ("seed", string_of_int seed) ]
+  @@ fun () ->
   let rng = Prng.of_int seed in
   match
     Agent.run ~rng ~faults ?retry ?pia_protocol:scenario.protocol scenario.spec
@@ -196,16 +206,25 @@ let run ?(seed = 42) ?retry ~scenario ~plan ~trials () =
           pia.Pia_audit.failures
     | Agent.Sia_outcome _ -> ()
   in
+  let observe_completeness c =
+    Obs.observe ~bounds:[| 0.; 0.25; 0.5; 0.75; 1. |] "chaos.completeness" c
+  in
   for t = 0 to trials - 1 do
     match one_trial sc entries retry ~seed:(seed + t) with
     | Trial_ok r ->
         incr successes;
+        Obs.incr "chaos.trials_ok";
+        observe_completeness r.Agent.degradation.Degradation.completeness;
         record_run r
     | Trial_degraded r ->
         incr degraded;
+        Obs.incr "chaos.trials_degraded";
+        observe_completeness r.Agent.degradation.Degradation.completeness;
         record_run r
     | Trial_failed e ->
         incr failed;
+        Obs.incr "chaos.trials_failed";
+        observe_completeness 0.;
         completeness := 0. :: !completeness;
         record_error e
   done;

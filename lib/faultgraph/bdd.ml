@@ -2,6 +2,8 @@
    growable arrays; 0 and 1 are the terminals. Variables are ranks in
    the basic-event order (ascending rank toward the leaves). *)
 
+module Obs = Indaas_obs.Registry
+
 type node = int
 
 type manager = {
@@ -426,8 +428,15 @@ let minimal_rg_count g =
   family_size m (minsol m top)
 
 let minimal_risk_groups ?(max_size = max_int) g =
+  Obs.with_span "rg.bdd" @@ fun () ->
   let m, top = of_graph g in
   let z = minsol m top in
+  if Obs.on () then begin
+    Obs.incr ~by:(size m) "bdd.nodes";
+    Obs.incr ~by:(m.znext - 2) "bdd.zdd_nodes";
+    Obs.span_attr "bdd_nodes" (string_of_int (size m));
+    Obs.span_attr "family_size" (string_of_int (family_size m z))
+  end;
   let out = ref [] in
   iter_family m
     (fun ranks ->
@@ -437,4 +446,9 @@ let minimal_risk_groups ?(max_size = max_int) g =
         out := rg :: !out
       end)
     z;
-  Cutset.sort_family !out
+  let family = Cutset.sort_family !out in
+  if Obs.on () then
+    Obs.observe ~bounds:[| 1.; 2.; 5.; 10.; 50.; 100.; 1000.; 10000. |]
+      "rg.family_size"
+      (float_of_int (List.length family));
+  family

@@ -1,6 +1,15 @@
+module Obs = Indaas_obs.Registry
+
 type rg = Graph.node_id array
 
 exception Too_many_cut_sets of int
+
+(* Hot-loop accounting: plain module-level refs so the absorption
+   kernel never pays the observability facade per probe; the deltas
+   are published as counters once per [minimal_risk_groups] call when
+   recording is on. *)
+let subset_probes = ref 0
+let absorbed_sets = ref 0
 
 (* --- canonical family order ---------------------------------------- *)
 
@@ -51,7 +60,13 @@ let minimize (family : Bitset.t list) : Bitset.t list =
            match Hashtbl.find_opt by_min x with
            | None -> ()
            | Some sets ->
-               if List.exists (fun t -> Bitset.subset t s) sets then begin
+               if
+                 List.exists
+                   (fun t ->
+                     incr subset_probes;
+                     Bitset.subset t s)
+                   sets
+               then begin
                  found := true;
                  raise Exit
                end)
@@ -62,7 +77,8 @@ let minimize (family : Bitset.t list) : Bitset.t list =
   let accepted = ref [] in
   List.iter
     (fun (_, s) ->
-      if (not (BsTbl.mem seen s)) && not (has_subset s) then begin
+      if BsTbl.mem seen s || has_subset s then incr absorbed_sets
+      else begin
         BsTbl.replace seen s ();
         (match Bitset.min_elt_opt s with
         | None -> ()
@@ -143,6 +159,8 @@ let iter_ksubsets k xs f =
   if k >= 0 && k <= n then go 0 0
 
 let minimal_risk_groups ?(max_size = max_int) ?(max_family = 500_000) g =
+  Obs.with_span "rg.enum" @@ fun () ->
+  let probes0 = !subset_probes and absorbed0 = !absorbed_sets in
   let width = Graph.node_count g in
   let memo : Bitset.t list option array = Array.make width None in
   Array.iter
@@ -174,7 +192,17 @@ let minimal_risk_groups ?(max_size = max_int) ?(max_family = 500_000) g =
       memo.(id) <- Some family)
     (Graph.topological_order g);
   match memo.(Graph.top g) with
-  | Some f -> sort_family (List.map Bitset.to_sorted_array f)
+  | Some f ->
+      let family = sort_family (List.map Bitset.to_sorted_array f) in
+      if Obs.on () then begin
+        Obs.incr ~by:(!subset_probes - probes0) "cutset.subset_probes";
+        Obs.incr ~by:(!absorbed_sets - absorbed0) "cutset.absorbed_sets";
+        let n = List.length family in
+        Obs.span_attr "family_size" (string_of_int n);
+        Obs.observe ~bounds:[| 1.; 2.; 5.; 10.; 50.; 100.; 1000.; 10000. |]
+          "rg.family_size" (float_of_int n)
+      end;
+      family
   | None -> assert false
 
 let names g rg = Array.to_list (Array.map (fun id -> Graph.name_of g id) rg)

@@ -28,10 +28,20 @@ let r001_registry_row =
     D.Warning,
     "deployment report produced from a degraded dependency collection" )
 
+let no_collector_spans =
+  D.make ~code:"IND-O001" ~severity:D.Warning ~location:D.Whole
+    "observability is enabled but the audit recorded no collector spans; \
+     the trace is missing per-source collection accounting"
+
+let o001_registry_row =
+  ( "IND-O001",
+    D.Warning,
+    "report emitted with observability on but zero recorded collector spans" )
+
 let registry =
   List.map Rule.describe Depdb_rules.rules
   @ List.map Rule.describe Graph_rules.rules
-  @ [ g007_registry_row; r001_registry_row ]
+  @ [ g007_registry_row; r001_registry_row; o001_registry_row ]
   @ List.map Rule.describe Topo_rules.rules
   |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 

@@ -41,5 +41,13 @@ val degraded_collection :
     attaches it to every report of a degraded run; [--strict] CLI
     users refuse such audits. *)
 
+val no_collector_spans : Diagnostic.t
+(** The [IND-O001] finding: a report was emitted with observability
+    enabled, yet the run recorded no collector spans — the trace and
+    metrics are missing per-source collection accounting (typically a
+    sign that collection ran before the registry was enabled). The CLI
+    attaches it when [--trace]/[--metrics] is on; suppressible with
+    [--disable IND-O001] like every other code. *)
+
 val errors : Diagnostic.t list -> Diagnostic.t list
 (** The error-severity findings only. *)

@@ -1,0 +1,103 @@
+module Json = Indaas_util.Json
+module Timing = Indaas_util.Timing
+
+(* --- Chrome trace_event ------------------------------------------------- *)
+
+(* Complete ("ph":"X") events, one per span, timestamps in integer
+   microseconds. Flattening loses nothing: viewers rebuild nesting on
+   one pid/tid from interval containment. Durations round up so a
+   sub-microsecond span stays visible (and containment survives,
+   because parents round up at least as much). *)
+let us_of_ns ns = Int64.to_int (Int64.div ns 1000L)
+let us_ceil_of_ns ns = Int64.to_int (Int64.div (Int64.add ns 999L) 1000L)
+
+let trace_event span =
+  Json.Obj
+    [
+      ("name", Json.String span.Span.name);
+      ("ph", Json.String "X");
+      ("ts", Json.Int (us_of_ns span.Span.start_ns));
+      ("dur", Json.Int (us_ceil_of_ns (Span.duration_ns span)));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+      ( "args",
+        Json.Obj
+          (("id", Json.String (Span.id_hex span))
+          :: List.map (fun (k, v) -> (k, Json.String v)) (Span.attrs span)) );
+    ]
+
+let chrome_trace registry =
+  let events = ref [] in
+  List.iter
+    (Span.iter (fun span -> events := trace_event span :: !events))
+    (Registry.roots registry);
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev !events));
+      ("displayTimeUnit", Json.String "ms");
+      (* Extra top-level keys are ignored by trace viewers; carrying
+         the metrics here makes one --trace file self-contained. *)
+      ("metrics", Metrics.to_json (Registry.metrics registry));
+    ]
+
+let write_chrome_trace registry ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (chrome_trace registry));
+      output_char oc '\n')
+
+(* --- structured JSON ---------------------------------------------------- *)
+
+let to_json registry =
+  Json.Obj
+    [
+      ( "spans",
+        Json.List (List.map Span.to_json (Registry.roots registry)) );
+      ("metrics", Metrics.to_json (Registry.metrics registry));
+    ]
+
+(* --- ASCII -------------------------------------------------------------- *)
+
+let render_spans registry =
+  match Registry.roots registry with
+  | [] -> "no spans recorded\n"
+  | roots -> String.concat "" (List.map Span.render roots)
+
+let render registry =
+  render_spans registry ^ "\n" ^ Metrics.render (Registry.metrics registry)
+
+(* One line per root span — the report footer for --metrics runs. *)
+let summary registry =
+  match Registry.roots registry with
+  | [] -> ""
+  | roots ->
+      String.concat ""
+        (List.map
+           (fun root ->
+             Printf.sprintf "%s: %s (%d spans)\n" root.Span.name
+               (Timing.format_seconds (Span.duration_seconds root))
+               (Span.count root))
+           roots)
+
+let span_count ?name registry =
+  let matches span =
+    match name with None -> true | Some n -> span.Span.name = n
+  in
+  (* Completed roots plus the outermost still-open span, so callers
+     checking mid-audit (inside their own root span) see the closed
+     children recorded so far. *)
+  let trees =
+    Registry.roots registry
+    @
+    match List.rev (Registry.open_spans registry) with
+    | outermost :: _ -> [ outermost ]
+    | [] -> []
+  in
+  List.fold_left
+    (fun acc root ->
+      let n = ref 0 in
+      Span.iter (fun span -> if matches span then incr n) root;
+      acc + !n)
+    0 trees

@@ -1,0 +1,36 @@
+(** Exporters over a registry's recorded spans and metrics: Chrome
+    [trace_event] JSON, structured JSON, and ASCII.
+
+    All exports are pure functions of the registry's recorded state,
+    listing spans in start order and metrics in name order — so a
+    virtual-clocked run exports byte-identically for a fixed seed. *)
+
+val chrome_trace : Registry.t -> Indaas_util.Json.t
+(** [{traceEvents: [...]; displayTimeUnit; metrics}] — complete
+    ([ph:"X"]) events in integer microseconds on one pid/tid, loadable
+    in [about:tracing] / Perfetto (which ignore the extra [metrics]
+    key). Durations round up to a whole microsecond so sub-us spans
+    stay visible. *)
+
+val write_chrome_trace : Registry.t -> path:string -> unit
+(** {!chrome_trace}, compact, to a file with a trailing newline. *)
+
+val to_json : Registry.t -> Indaas_util.Json.t
+(** [{spans; metrics}] with full span trees ({!Span.to_json}),
+    nanosecond precision. *)
+
+val render_spans : Registry.t -> string
+(** ASCII trees of all root spans. *)
+
+val render : Registry.t -> string
+(** {!render_spans} plus the metric tables. *)
+
+val summary : Registry.t -> string
+(** One line per root span (name, duration, span count); [""] when
+    nothing was recorded. Report footer for [--metrics] runs. *)
+
+val span_count : ?name:string -> Registry.t -> int
+(** Spans recorded across all completed roots plus the outermost
+    still-open span's tree, optionally only those with a given name
+    (the IND-O001 lint checks collector spans this way, from inside
+    the CLI's root span). *)

@@ -1,0 +1,196 @@
+module Json = Indaas_util.Json
+module Stats = Indaas_util.Stats
+module Table = Indaas_util.Table
+
+(* Default histogram bucket upper bounds, in seconds: microseconds up
+   to a minute, exponential. Callers measuring something other than
+   durations pass their own bounds on first observation. *)
+let default_bounds =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10.; 60. |]
+
+type histogram = {
+  bounds : float array;  (* ascending upper bounds; one overflow bucket *)
+  buckets : int array;  (* length = Array.length bounds + 1 *)
+  mutable samples : float list;  (* raw values, for exact percentiles *)
+  mutable sum : float;
+  mutable n : int;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let clear t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.histograms
+
+let incr t ?(by = 1) name =
+  if by < 0 then invalid_arg "Metrics.incr: counters are monotonic";
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace t.counters name (ref by)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.replace t.gauges name (ref v)
+
+let gauge t name = Option.map ( ! ) (Hashtbl.find_opt t.gauges name)
+
+let observe t ?(bounds = default_bounds) name v =
+  let h =
+    match Hashtbl.find_opt t.histograms name with
+    | Some h -> h
+    | None ->
+        if Array.length bounds = 0 then
+          invalid_arg "Metrics.observe: empty bucket bounds";
+        Array.iteri
+          (fun i b ->
+            if i > 0 && b <= bounds.(i - 1) then
+              invalid_arg "Metrics.observe: bucket bounds must ascend")
+          bounds;
+        let h =
+          {
+            bounds = Array.copy bounds;
+            buckets = Array.make (Array.length bounds + 1) 0;
+            samples = [];
+            sum = 0.;
+            n = 0;
+          }
+        in
+        Hashtbl.replace t.histograms name h;
+        h
+  in
+  let rec bucket i =
+    if i >= Array.length h.bounds then i
+    else if v <= h.bounds.(i) then i
+    else bucket (i + 1)
+  in
+  h.buckets.(bucket 0) <- h.buckets.(bucket 0) + 1;
+  h.samples <- v :: h.samples;
+  h.sum <- h.sum +. v;
+  h.n <- h.n + 1
+
+let histogram t name = Hashtbl.find_opt t.histograms name
+
+let percentile h p =
+  if h.n = 0 then invalid_arg "Metrics.percentile: empty histogram";
+  Stats.percentile (Array.of_list h.samples) p
+
+let histogram_count h = h.n
+let histogram_sum h = h.sum
+
+(* Sorted name order everywhere below: exports are byte-deterministic
+   given deterministic values. *)
+let sorted_names tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
+
+let counters t =
+  List.map (fun n -> (n, counter t n)) (sorted_names t.counters)
+
+let gauges t =
+  List.map
+    (fun n -> (n, Option.get (gauge t n)))
+    (sorted_names t.gauges)
+
+let histograms t =
+  List.map
+    (fun n -> (n, Option.get (histogram t n)))
+    (sorted_names t.histograms)
+
+let is_empty t =
+  Hashtbl.length t.counters = 0
+  && Hashtbl.length t.gauges = 0
+  && Hashtbl.length t.histograms = 0
+
+let histogram_to_json h =
+  let pct p = Json.Float (percentile h p) in
+  Json.Obj
+    [
+      ("count", Json.Int h.n);
+      ("sum", Json.Float h.sum);
+      ("p50", pct 50.);
+      ("p90", pct 90.);
+      ("p99", pct 99.);
+      ( "buckets",
+        Json.List
+          (Array.to_list
+             (Array.mapi
+                (fun i count ->
+                  Json.Obj
+                    [
+                      ( "le",
+                        if i < Array.length h.bounds then
+                          Json.Float h.bounds.(i)
+                        else Json.Null );
+                      ("count", Json.Int count);
+                    ])
+                h.buckets)) );
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) (counters t)) );
+      ( "gauges",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) (gauges t)) );
+      ( "histograms",
+        Json.Obj
+          (List.map (fun (n, h) -> (n, histogram_to_json h)) (histograms t)) );
+    ]
+
+let render t =
+  if is_empty t then "no metrics recorded\n"
+  else begin
+    let buf = Buffer.create 512 in
+    let scalars = counters t and gauges = gauges t in
+    if scalars <> [] || gauges <> [] then begin
+      let tbl =
+        Table.create ~aligns:[ Table.Left; Table.Left; Table.Right ]
+          [ "metric"; "kind"; "value" ]
+      in
+      List.iter
+        (fun (n, v) -> Table.add_row tbl [ n; "counter"; string_of_int v ])
+        scalars;
+      List.iter
+        (fun (n, v) -> Table.add_row tbl [ n; "gauge"; Printf.sprintf "%.6g" v ])
+        gauges;
+      Buffer.add_string buf (Table.render tbl);
+      Buffer.add_char buf '\n'
+    end;
+    (match histograms t with
+    | [] -> ()
+    | hists ->
+        let tbl =
+          Table.create
+            ~aligns:
+              [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+            [ "histogram"; "count"; "p50"; "p90"; "p99" ]
+        in
+        (* Histograms are unit-agnostic (durations in seconds,
+           completeness ratios, family sizes), so percentiles render
+           as plain numbers, not formatted durations. *)
+        List.iter
+          (fun (n, h) ->
+            let pct p = Printf.sprintf "%.6g" (percentile h p) in
+            Table.add_row tbl
+              [ n; string_of_int h.n; pct 50.; pct 90.; pct 99. ])
+          hists;
+        Buffer.add_string buf (Table.render tbl);
+        Buffer.add_char buf '\n');
+    Buffer.contents buf
+  end

@@ -1,0 +1,53 @@
+(** Metric stores: monotonic counters, gauges, and fixed-bucket
+    histograms with exact p50/p90/p99 (computed over the raw samples
+    with {!Indaas_util.Stats.percentile}).
+
+    A store is plain mutable state — no clock, no I/O. Exports list
+    metrics in sorted name order, so output is byte-deterministic
+    whenever the recorded values are. *)
+
+type histogram
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+val incr : t -> ?by:int -> string -> unit
+(** Creates the counter at 0 on first use. Raises [Invalid_argument]
+    on a negative increment: counters are monotonic. *)
+
+val counter : t -> string -> int
+(** 0 for a counter never incremented. *)
+
+val set_gauge : t -> string -> float -> unit
+val gauge : t -> string -> float option
+
+val observe : t -> ?bounds:float array -> string -> float -> unit
+(** Records one sample. [bounds] (ascending bucket upper bounds, plus
+    an implicit overflow bucket) only takes effect on the observation
+    that creates the histogram; the default suits durations in
+    seconds (1us .. 60s, exponential). Raises [Invalid_argument] on
+    empty or non-ascending bounds. *)
+
+val histogram : t -> string -> histogram option
+val percentile : histogram -> float -> float
+(** Exact, over all recorded samples. Raises [Invalid_argument] on an
+    empty histogram. *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val counters : t -> (string * int) list
+(** Sorted by name; likewise below. *)
+
+val gauges : t -> (string * float) list
+val histograms : t -> (string * histogram) list
+val is_empty : t -> bool
+
+val to_json : t -> Indaas_util.Json.t
+(** [{counters; gauges; histograms}]; each histogram carries count,
+    sum, p50/p90/p99 and its bucket counts. *)
+
+val render : t -> string
+(** Two ASCII tables (counters+gauges, histograms); ["no metrics
+    recorded\n"] when empty. *)

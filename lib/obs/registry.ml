@@ -1,0 +1,123 @@
+module Prng = Indaas_util.Prng
+module Timing = Indaas_util.Timing
+
+type clock = unit -> int64
+
+let real_clock : clock = Timing.now_ns
+
+let clock_of_seconds f () = Int64.of_float (f () *. 1e9)
+
+type t = {
+  mutable enabled : bool;
+  mutable clock : clock;
+  mutable prng : Prng.t;
+  seed : int;
+  metrics : Metrics.t;
+  mutable rev_roots : Span.t list;  (* completed root spans *)
+  mutable stack : Span.t list;  (* open spans, innermost first *)
+}
+
+let create ?(seed = 0) ?(clock = real_clock) () =
+  {
+    enabled = false;
+    clock;
+    prng = Prng.of_int seed;
+    seed;
+    metrics = Metrics.create ();
+    rev_roots = [];
+    stack = [];
+  }
+
+(* The process-wide registry. Disabled by default so an uninstrumented
+   binary pays one load + branch per call site and records nothing. *)
+let global : t ref = ref (create ())
+
+let current () = !global
+let enabled t = t.enabled
+let on () = !global.enabled
+let metrics t = t.metrics
+
+let set_clock t clock = t.clock <- clock
+let now_ns t = t.clock ()
+
+let reset ?seed t =
+  t.prng <- Prng.of_int (Option.value seed ~default:t.seed);
+  Metrics.clear t.metrics;
+  t.rev_roots <- [];
+  t.stack <- []
+
+let enable ?clock ?seed t =
+  Option.iter (set_clock t) clock;
+  reset ?seed t;
+  t.enabled <- true
+
+let disable t = t.enabled <- false
+
+let roots t = List.rev t.rev_roots
+let open_spans t = t.stack
+
+(* --- span recording ---------------------------------------------------- *)
+
+let start_span t ?(attrs = []) name =
+  let span =
+    Span.make ~id:(Prng.next_int64 t.prng) ~name ~start_ns:(t.clock ())
+  in
+  List.iter (fun (k, v) -> Span.add_attr span k v) attrs;
+  (match t.stack with
+  | parent :: _ -> Span.add_child parent span
+  | [] -> ());
+  t.stack <- span :: t.stack;
+  span
+
+let stop_span t span =
+  match t.stack with
+  | top :: rest when top == span ->
+      Span.stop span ~now_ns:(t.clock ());
+      t.stack <- rest;
+      if rest = [] then t.rev_roots <- span :: t.rev_roots
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Registry.stop_span: %S is not the innermost open span"
+           span.Span.name)
+
+let with_span_in t ?attrs name f =
+  if not t.enabled then f ()
+  else begin
+    let span = start_span t ?attrs name in
+    Fun.protect ~finally:(fun () -> stop_span t span) f
+  end
+
+(* --- facade over the current registry ---------------------------------- *)
+
+let with_span ?attrs name f = with_span_in !global ?attrs name f
+
+let span_attr key value =
+  let t = !global in
+  if t.enabled then
+    match t.stack with
+    | span :: _ -> Span.add_attr span key value
+    | [] -> ()
+
+let incr ?by name =
+  let t = !global in
+  if t.enabled then Metrics.incr t.metrics ?by name
+
+let set_gauge name v =
+  let t = !global in
+  if t.enabled then Metrics.set_gauge t.metrics name v
+
+let observe ?bounds name v =
+  let t = !global in
+  if t.enabled then Metrics.observe t.metrics ?bounds name v
+
+(* --- scoped registries (tests, benchmarks) ----------------------------- *)
+
+let with_scope ?seed ?clock f =
+  let scoped = create ?seed ?clock () in
+  scoped.enabled <- true;
+  let saved = !global in
+  global := scoped;
+  let result =
+    Fun.protect ~finally:(fun () -> global := saved) (fun () -> f scoped)
+  in
+  (result, scoped)

@@ -1,0 +1,95 @@
+(** The process-wide observability registry: the span stack, the
+    metric stores, the clock, and the deterministic span-id PRNG.
+
+    Instrumentation throughout the INDaaS libraries calls the facade
+    functions ({!with_span}, {!incr}, {!observe}, ...) against the
+    current global registry. That registry is {e disabled} by default:
+    every facade call is then a single load-and-branch (and
+    [with_span] just runs its thunk), which keeps the instrumented hot
+    paths within noise of the uninstrumented ones. The [indaas] CLI
+    enables it for [--trace]/[--metrics]; tests and benchmarks install
+    a fresh scoped registry with {!with_scope}.
+
+    Determinism contract: span ids come from a seeded
+    {!Indaas_util.Prng} and every timestamp from the registry's
+    {!type:clock}. With the clock pointed at a
+    {!Indaas_resilience.Vclock} (via {!clock_of_seconds}) an audit
+    records byte-identical spans and metrics for a fixed seed — the
+    chaos harness and [--fault] runs rely on this. *)
+
+type clock = unit -> int64
+(** Nanosecond timestamps. *)
+
+val real_clock : clock
+(** {!Indaas_util.Timing.now_ns}. *)
+
+val clock_of_seconds : (unit -> float) -> clock
+(** Adapts a seconds-valued clock (e.g. a virtual clock's [now]). *)
+
+type t
+
+val create : ?seed:int -> ?clock:clock -> unit -> t
+(** A fresh, disabled registry ([seed] defaults to 0, [clock] to
+    {!real_clock}). *)
+
+val current : unit -> t
+(** The global registry. *)
+
+val enabled : t -> bool
+val on : unit -> bool
+(** [enabled (current ())] — the fast check instrumentation uses. *)
+
+val enable : ?clock:clock -> ?seed:int -> t -> unit
+(** Resets recorded state (see {!reset}) and turns recording on. *)
+
+val disable : t -> unit
+
+val reset : ?seed:int -> t -> unit
+(** Drops every recorded span and metric and re-seeds the span-id
+    PRNG ([seed] defaults to the creation seed) — scoped reset for
+    tests. Leaves the enabled flag alone. *)
+
+val set_clock : t -> clock -> unit
+val now_ns : t -> int64
+val metrics : t -> Metrics.t
+
+val roots : t -> Span.t list
+(** Completed root spans, oldest first. *)
+
+val open_spans : t -> Span.t list
+(** Still-open spans, innermost first; [[]] between instrumented
+    calls. *)
+
+(** {1 Explicit span control}
+
+    For call sites that cannot wrap a closure. Prefer {!with_span}. *)
+
+val start_span : t -> ?attrs:(string * string) list -> string -> Span.t
+val stop_span : t -> Span.t -> unit
+(** Raises [Invalid_argument] unless the span is the innermost open
+    one: spans close in LIFO order. *)
+
+val with_span_in :
+  t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** {1 Facade over the current registry}
+
+    All no-ops when the registry is disabled. *)
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Runs the thunk inside a fresh child span of the innermost open
+    span (a new root when none is open). The span is closed even when
+    the thunk raises. *)
+
+val span_attr : string -> string -> unit
+(** Attribute on the innermost open span; ignored when none is open. *)
+
+val incr : ?by:int -> string -> unit
+val set_gauge : string -> float -> unit
+val observe : ?bounds:float array -> string -> float -> unit
+
+val with_scope :
+  ?seed:int -> ?clock:clock -> (t -> 'a) -> 'a * t
+(** Installs a fresh {e enabled} registry as the current one, runs the
+    function, and restores the previous registry (also on exceptions).
+    Returns the result and the scoped registry for inspection. *)

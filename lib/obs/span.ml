@@ -1,0 +1,106 @@
+module Json = Indaas_util.Json
+module Timing = Indaas_util.Timing
+
+type t = {
+  id : int64;
+  name : string;
+  start_ns : int64;
+  mutable stop_ns : int64 option;
+  mutable attrs : (string * string) list;
+  mutable rev_children : t list;
+}
+
+let make ~id ~name ~start_ns =
+  { id; name; start_ns; stop_ns = None; attrs = []; rev_children = [] }
+
+let stop span ~now_ns =
+  match span.stop_ns with
+  | Some _ -> invalid_arg (Printf.sprintf "Span.stop: %S already stopped" span.name)
+  | None ->
+      (* Clamp: the virtual clock never moves backwards, but the real
+         clock can step; a span must still contain its children. *)
+      span.stop_ns <- Some (if now_ns < span.start_ns then span.start_ns else now_ns)
+
+let add_child parent child = parent.rev_children <- child :: parent.rev_children
+let children span = List.rev span.rev_children
+let closed span = span.stop_ns <> None
+
+let add_attr span key value =
+  (* Last write wins, attrs render in insertion order. *)
+  span.attrs <- (key, value) :: List.remove_assoc key span.attrs
+
+let attrs span = List.rev span.attrs
+
+let duration_ns span =
+  match span.stop_ns with
+  | Some stop -> Int64.sub stop span.start_ns
+  | None -> 0L
+
+let duration_seconds span = Int64.to_float (duration_ns span) /. 1e9
+
+let rec iter f span =
+  f span;
+  List.iter (iter f) span.rev_children
+
+let count span =
+  let n = ref 0 in
+  iter (fun _ -> incr n) span;
+  !n
+
+(* A recorded tree is well-formed when every span was stopped, no span
+   stops before it starts, and every child lies inside its parent's
+   interval. The qcheck property in test_obs drives random nesting
+   programs through the registry and asserts exactly this. *)
+let rec well_formed span =
+  match span.stop_ns with
+  | None -> false
+  | Some stop ->
+      stop >= span.start_ns
+      && List.for_all
+           (fun child ->
+             child.start_ns >= span.start_ns
+             && (match child.stop_ns with
+                | None -> false
+                | Some cstop -> cstop <= stop)
+             && well_formed child)
+           span.rev_children
+
+let rec find_all ~name span =
+  let here = if span.name = name then [ span ] else [] in
+  here @ List.concat_map (find_all ~name) (children span)
+
+let id_hex span = Printf.sprintf "%Lx" span.id
+
+let rec to_json span =
+  Json.Obj
+    [
+      ("id", Json.String (id_hex span));
+      ("name", Json.String span.name);
+      ("start_ns", Json.Int (Int64.to_int span.start_ns));
+      ("duration_ns", Json.Int (Int64.to_int (duration_ns span)));
+      ( "attrs",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) (attrs span)) );
+      ("children", Json.List (List.map to_json (children span)));
+    ]
+
+let summary_line ?(indent = 0) span =
+  Printf.sprintf "%s%s %s%s"
+    (String.make indent ' ')
+    span.name
+    (Timing.format_seconds (duration_seconds span))
+    (match attrs span with
+    | [] -> ""
+    | attrs ->
+        " ["
+        ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs)
+        ^ "]")
+
+let render span =
+  let buf = Buffer.create 256 in
+  let rec go indent span =
+    Buffer.add_string buf (summary_line ~indent span);
+    Buffer.add_char buf '\n';
+    List.iter (go (indent + 2)) (children span)
+  in
+  go 0 span;
+  Buffer.contents buf

@@ -1,0 +1,61 @@
+(** Hierarchical spans: one timed, attributed interval of the audit
+    pipeline, with children strictly contained in their parent.
+
+    Spans are produced by {!Registry.with_span}; this module is the
+    data structure plus the invariant checks and serializers. All
+    timestamps are nanoseconds from whichever clock the owning
+    registry was configured with — the real clock
+    ({!Indaas_util.Timing.now_ns}) or a virtual one, under which a
+    seeded run records byte-identical trees. *)
+
+type t = {
+  id : int64;  (** deterministic, drawn from the registry's PRNG *)
+  name : string;
+  start_ns : int64;
+  mutable stop_ns : int64 option;  (** [None] while the span is open *)
+  mutable attrs : (string * string) list;
+  mutable rev_children : t list;
+}
+
+val make : id:int64 -> name:string -> start_ns:int64 -> t
+(** An open span with no children. *)
+
+val stop : t -> now_ns:int64 -> unit
+(** Closes the span. A wall clock that stepped backwards is clamped to
+    the start timestamp so containment survives. Raises
+    [Invalid_argument] when the span is already closed. *)
+
+val add_child : t -> t -> unit
+val children : t -> t list
+(** In start order. *)
+
+val closed : t -> bool
+
+val add_attr : t -> string -> string -> unit
+(** Sets a key; the last write to a key wins. *)
+
+val attrs : t -> (string * string) list
+(** In insertion order; rewriting a key moves it to the end. *)
+
+val duration_ns : t -> int64
+(** 0 while the span is open. *)
+
+val duration_seconds : t -> float
+val iter : (t -> unit) -> t -> unit
+val count : t -> int
+(** Spans in the tree, including the root. *)
+
+val well_formed : t -> bool
+(** Every span in the tree closed, stop >= start, and every child
+    interval contained in its parent's. *)
+
+val find_all : name:string -> t -> t list
+(** Every span in the tree (root included) with that name. *)
+
+val id_hex : t -> string
+val to_json : t -> Indaas_util.Json.t
+(** [{id; name; start_ns; duration_ns; attrs; children}], recursively. *)
+
+val summary_line : ?indent:int -> t -> string
+val render : t -> string
+(** Indented ASCII tree of the whole span, one line per span. *)

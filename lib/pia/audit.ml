@@ -1,5 +1,6 @@
 module Prng = Indaas_util.Prng
 module Table = Indaas_util.Table
+module Obs = Indaas_obs.Registry
 module Fault = Indaas_resilience.Fault
 module Retry = Indaas_resilience.Retry
 module Vclock = Indaas_resilience.Vclock
@@ -57,8 +58,23 @@ let subsets_of_size k l =
   in
   go k l
 
+let protocol_label = function
+  | Psop _ -> "psop"
+  | Psop_minhash _ -> "psop_minhash"
+  | Ks _ -> "ks"
+  | Bloom _ -> "bloom"
+  | Cleartext -> "cleartext"
+
 let evaluate ?interceptor protocol rng group =
   let names = List.map (fun p -> p.name) group in
+  Obs.with_span "pia.round"
+    ~attrs:
+      [
+        ("protocol", protocol_label protocol);
+        ("providers", String.concat "&" names);
+      ]
+  @@ fun () ->
+  Obs.incr "pia.rounds";
   let datasets =
     Array.of_list (List.map (fun p -> Componentset.to_list p.components) group)
   in
@@ -136,6 +152,7 @@ let audit ?(protocol = Cleartext) ?(rng = Prng.of_int 0x91A) ?faults ?retry ~way
              match outcome.Retry.result with
              | Ok r -> Either.Left r
              | Error error ->
+                 Obs.incr "pia.round_failures";
                  Either.Right
                    { group = names; error; attempts = outcome.Retry.attempts })
   in

@@ -3,6 +3,7 @@ module Oracle = Indaas_crypto.Oracle
 module Digest = Indaas_crypto.Digest
 module Prng = Indaas_util.Prng
 module Nat = Indaas_bignum.Nat
+module Obs = Indaas_obs.Registry
 
 let log_src = Logs.Src.create "indaas.psop" ~doc:"P-SOP protocol"
 
@@ -100,6 +101,7 @@ let run ?params ?(hash = Digest.SHA256) ?interceptor g datasets =
   let encrypted, transport, crypto_ops =
     encrypt_all ~params ~hash ?interceptor g datasets
   in
+  Obs.incr ~by:crypto_ops "psop.crypto_ops";
   let intersection, union = count_cardinalities encrypted in
   Log.debug (fun f ->
       f "P-SOP: %d parties, %d crypto ops, %d bytes, |inter|=%d |union|=%d"

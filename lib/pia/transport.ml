@@ -1,4 +1,5 @@
 module Fault = Indaas_resilience.Fault
+module Obs = Indaas_obs.Registry
 
 type action = [ `Deliver | `Drop | `Delay of float ]
 type interceptor = src:int -> dst:int -> bytes:int -> action
@@ -47,7 +48,9 @@ let send t ~src ~dst bytes =
   let deliver () =
     t.sent.(src) <- t.sent.(src) + bytes;
     t.received.(dst) <- t.received.(dst) + bytes;
-    t.message_count <- t.message_count + 1
+    t.message_count <- t.message_count + 1;
+    Obs.incr "pia.messages";
+    Obs.incr ~by:bytes "pia.bytes"
   in
   match t.interceptor with
   | None -> deliver ()
@@ -59,6 +62,7 @@ let send t ~src ~dst bytes =
           deliver ()
       | `Drop ->
           t.dropped <- t.dropped + 1;
+          Obs.incr "pia.messages_dropped";
           raise
             (Fault.Injected
                {

@@ -3,6 +3,7 @@ module Cutset = Indaas_faultgraph.Cutset
 module Bdd = Indaas_faultgraph.Bdd
 module Sampling = Indaas_faultgraph.Sampling
 module Prng = Indaas_util.Prng
+module Obs = Indaas_obs.Registry
 
 type rg_algorithm =
   | Minimal_rg of { max_size : int option; max_family : int option }
@@ -46,6 +47,12 @@ type deployment_report = {
   diagnostics : Indaas_lint.Diagnostic.t list;
 }
 
+let algorithm_label = function
+  | Minimal_rg _ -> "minimal_rg"
+  | Minimal_rg_bdd _ -> "minimal_rg_bdd"
+  | Auto_rg _ -> "auto_rg"
+  | Failure_sampling _ -> "failure_sampling"
+
 let determine_rgs rng algorithm graph =
   match algorithm with
   | Minimal_rg { max_size; max_family } ->
@@ -63,8 +70,24 @@ let determine_rgs rng algorithm graph =
 
 let audit ?(rng = Prng.of_int 0xD1CE) db request =
   let graph = Builder.build db request.spec in
-  let rgs = determine_rgs rng request.algorithm graph in
+  let rgs =
+    Obs.with_span "minimize"
+      ~attrs:[ ("algorithm", algorithm_label request.algorithm) ]
+    @@ fun () ->
+    let rgs = determine_rgs rng request.algorithm graph in
+    Obs.span_attr "risk_groups" (string_of_int (List.length rgs));
+    rgs
+  in
   let ranked, score, failure_probability =
+    Obs.with_span "rank" @@ fun () ->
+    if Obs.on () then
+      List.iter
+        (fun rg ->
+          Obs.observe
+            ~bounds:[| 1.; 2.; 3.; 5.; 8.; 13.; 21. |]
+            "rg.size"
+            (float_of_int (Array.length rg)))
+        rgs;
     match request.ranking with
     | Size_based ->
         let ranked = Rank.size_based graph rgs in

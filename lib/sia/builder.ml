@@ -1,6 +1,7 @@
 module Depdb = Indaas_depdata.Depdb
 module Dependency = Indaas_depdata.Dependency
 module Graph = Indaas_faultgraph.Graph
+module Obs = Indaas_obs.Registry
 
 type spec = {
   servers : string list;
@@ -20,6 +21,7 @@ let build db s =
   if m = 0 then invalid_arg "Builder.build: no servers";
   if s.required < 1 || s.required > m then
     invalid_arg "Builder.build: required out of range";
+  Obs.with_span "build" ~attrs:[ ("servers", string_of_int m) ] @@ fun () ->
   let b = Graph.Builder.create () in
   let basic name = Graph.Builder.add_basic b ?prob:(s.component_probability name) name in
   let server_gate server =
@@ -101,4 +103,12 @@ let build db s =
   let threshold = m - s.required + 1 in
   let gate = if threshold = m then Graph.And else Graph.Kofn threshold in
   let top = Graph.Builder.add_gate b ~name:"deployment" gate server_gates in
-  Graph.Builder.build b ~top
+  let g = Graph.Builder.build b ~top in
+  if Obs.on () then begin
+    let nodes = Graph.node_count g in
+    let basics = Array.length (Graph.basic_ids g) in
+    Obs.incr ~by:(nodes - basics) "build.gates";
+    Obs.incr ~by:basics "build.basic_events";
+    Obs.span_attr "nodes" (string_of_int nodes)
+  end;
+  g

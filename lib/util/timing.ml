@@ -5,8 +5,18 @@ let time f =
 
 let time_only f = snd (time f)
 
-let format_seconds s =
-  if s < 1e-3 then Printf.sprintf "%.0fus" (s *. 1e6)
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+(* NaN fails every comparison and negatives fall through to the
+   microsecond branch, so both used to print garbage ("0m0-5e+06s",
+   "-2000000us"); handle the degenerate inputs before the unit
+   ladder. *)
+let rec format_seconds s =
+  if Float.is_nan s then "nan"
+  else if s < 0. then "-" ^ format_seconds (-.s)
+  else if s = Float.infinity then "inf"
+  else if s = 0. then "0s"
+  else if s < 1e-3 then Printf.sprintf "%.0fus" (s *. 1e6)
   else if s < 1. then Printf.sprintf "%.1fms" (s *. 1e3)
   else if s < 60. then Printf.sprintf "%.2fs" s
   else

@@ -7,9 +7,16 @@ val time : (unit -> 'a) -> 'a * float
 val time_only : (unit -> 'a) -> float
 (** [time_only f] is [snd (time f)]. *)
 
+val now_ns : unit -> int64
+(** Wall-clock nanoseconds since the epoch (microsecond resolution —
+    the granularity of [Unix.gettimeofday]). The timestamp source of
+    the real-clock observability spans in [lib/obs]. *)
+
 val format_seconds : float -> string
 (** Human-readable duration: ["735us"], ["12.3ms"], ["4.56s"],
-    ["3m12s"]. *)
+    ["3m12s"]. Degenerate inputs stay readable: ["0s"], ["nan"],
+    ["inf"], and negative durations render as ["-"] plus the
+    magnitude. *)
 
 val format_bytes : int -> string
 (** Human-readable byte count: ["512B"], ["13.2KB"], ["4.7MB"]. *)

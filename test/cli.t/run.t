@@ -334,7 +334,7 @@ The catalogue of scenarios and plans:
 The registry documents every stable error code:
 
   $ indaas lint --rules | grep -c IND-
-  16
+  17
 
 The two exact RG engines return byte-identical reports:
 
@@ -371,3 +371,93 @@ Graphviz export can highlight one minimal risk group by rank:
   $ indaas dot --db deps.xml --servers S1,S2 --highlight-rg 99
   indaas dot: --highlight-rg 99, but the deployment has only 4 minimal risk group(s)
   [124]
+
+Observability: --metrics appends a span/metric footer to the report.
+Under --fault the registry runs on the injector's virtual clock, so
+every duration below is a pure function of the seed:
+
+  $ indaas sia --db deps.xml --servers S1,S2 --fault db=flaky:2 --seed 7 --metrics | tail -26
+  |    4 | {S1-disk, S2-disk} |    2 |     - |          - |
+  +------+--------------------+------+-------+------------+
+  
+  WARNING: 2 unexpected risk group(s) — redundancy is undermined.
+  
+  sia.audit: 271.0ms (7 spans)
+  +----------------------+---------+-------+
+  | metric               | kind    | value |
+  +----------------------+---------+-------+
+  | agent.breaker_trips  | counter |     0 |
+  | agent.module_calls   | counter |     1 |
+  | agent.records        | counter |     8 |
+  | agent.records_lost   | counter |     0 |
+  | agent.retries        | counter |     2 |
+  | build.basic_events   | counter |     6 |
+  | build.gates          | counter |    15 |
+  | cutset.absorbed_sets | counter |    16 |
+  | cutset.subset_probes | counter |    17 |
+  +----------------------+---------+-------+
+  +----------------------+-------+----------+----------+----------+
+  | histogram            | count |      p50 |      p90 |      p99 |
+  +----------------------+-------+----------+----------+----------+
+  | agent.source_seconds |     1 | 0.270954 | 0.270954 | 0.270954 |
+  | rg.family_size       |     1 |        4 |        4 |        4 |
+  | rg.size              |     4 |      1.5 |        2 |        2 |
+  +----------------------+-------+----------+----------+----------+
+
+--trace writes the same audit as a Chrome trace_event file —
+byte-identical across runs for a fixed seed:
+
+  $ indaas sia --db deps.xml --servers S1,S2 --fault db=flaky:2 --seed 7 --trace t1.json > /dev/null
+  [2]
+  $ indaas sia --db deps.xml --servers S1,S2 --fault db=flaky:2 --seed 7 --trace t2.json > /dev/null
+  [2]
+  $ cmp t1.json t2.json && echo identical
+  identical
+  $ grep -o '"name":"sia.audit"' t1.json
+  "name":"sia.audit"
+
+The chaos harness aggregates per-trial spans and metrics the same
+way, still byte-reproducible per seed:
+
+  $ indaas chaos --plan flaky --trials 3 --seed 1 --metrics --trace c1.json | tail -24
+  chaos.trial: 1.50s (17 spans)
+  chaos.trial: 1.53s (17 spans)
+  +----------------------+---------+--------+
+  | metric               | kind    |  value |
+  +----------------------+---------+--------+
+  | agent.breaker_trips  | counter |      0 |
+  | agent.module_calls   | counter |     27 |
+  | agent.records        | counter |     54 |
+  | agent.records_lost   | counter |      0 |
+  | agent.retries        | counter |     54 |
+  | build.basic_events   | counter |    888 |
+  | build.gates          | counter |    117 |
+  | chaos.trials_ok      | counter |      3 |
+  | cutset.absorbed_sets | counter |  24438 |
+  | cutset.subset_probes | counter | 400221 |
+  +----------------------+---------+--------+
+  +----------------------+-------+---------+----------+----------+
+  | histogram            | count |     p50 |      p90 |      p99 |
+  +----------------------+-------+---------+----------+----------+
+  | agent.source_seconds |     9 | 0.56345 | 0.660326 | 0.688867 |
+  | chaos.completeness   |     3 |       1 |        1 |        1 |
+  | rg.family_size       |     9 |    1050 |     2298 |     2298 |
+  | rg.size              | 11754 |       2 |        2 |        2 |
+  +----------------------+-------+---------+----------+----------+
+  $ indaas chaos --plan flaky --trials 3 --seed 1 --metrics --trace c2.json > /dev/null
+  $ cmp c1.json c2.json && echo identical
+  identical
+
+A PIA audit reads provider files rather than instrumented collectors,
+so an observability-enabled run records no collector spans — the
+IND-O001 tripwire reports that on stderr, and is suppressible like
+every other code:
+
+  $ indaas pia --provider CloudA=a.txt --provider CloudB=b.txt --protocol clear --metrics > /dev/null
+  +----------+----------+----------+---------------------------------------------------------------------------------------------------------------------------+
+  | code     | severity | location | message                                                                                                                   |
+  +----------+----------+----------+---------------------------------------------------------------------------------------------------------------------------+
+  | IND-O001 | warning  | -        | observability is enabled but the audit recorded no collector spans; the trace is missing per-source collection accounting |
+  +----------+----------+----------+---------------------------------------------------------------------------------------------------------------------------+
+  0 errors, 1 warning, 0 hints
+  $ indaas pia --provider CloudA=a.txt --provider CloudB=b.txt --protocol clear --metrics --disable IND-O001 > /dev/null

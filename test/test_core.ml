@@ -477,6 +477,49 @@ let test_monitor_validation () =
        false
      with Invalid_argument _ -> true)
 
+let test_monitor_single_snapshot () =
+  let db = flat_db [ ("S1", [ "swA" ]); ("S2", [ "swB" ]) ] in
+  let reports, diffs = Monitor.audit_series [ db ] (Sia_audit.request [ "S1"; "S2" ]) in
+  check Alcotest.int "one report" 1 (List.length reports);
+  check Alcotest.int "no diffs" 0 (List.length diffs)
+
+let test_monitor_expected_size_changes () =
+  (* S1 grows a second single-path switch: the new RG {swB, swC} is of
+     the intended size, so it is reported but does not regress. *)
+  let before = flat_db [ ("S1", [ "swA" ]); ("S2", [ "swB" ]) ] in
+  let after = flat_db [ ("S1", [ "swA"; "swC" ]); ("S2", [ "swB" ]) ] in
+  let request = Sia_audit.request [ "S1"; "S2" ] in
+  let _, diffs = Monitor.audit_series [ before; after ] request in
+  let d = List.hd diffs in
+  check Alcotest.bool "not regressed" false d.Monitor.regressed;
+  check Alcotest.bool "expected-size RG appeared" true
+    (List.exists
+       (function
+         | Monitor.Risk_group_appeared r ->
+             List.sort compare r.Rank.rg_names = [ "swB"; "swC" ]
+         | _ -> false)
+       d.Monitor.changes);
+  (* And the reverse direction reports it resolved. *)
+  let _, diffs = Monitor.audit_series [ after; before ] request in
+  let d = List.hd diffs in
+  check Alcotest.bool "expected-size RG resolved" true
+    (List.exists
+       (function
+         | Monitor.Risk_group_resolved names ->
+             List.sort compare names = [ "swB"; "swC" ]
+         | _ -> false)
+       d.Monitor.changes)
+
+let test_monitor_first_regression_index () =
+  let good = flat_db [ ("S1", [ "swA" ]); ("S2", [ "swB" ]) ] in
+  let bad = flat_db [ ("S1", [ "swA" ]); ("S2", [ "swA" ]) ] in
+  let request = Sia_audit.request [ "S1"; "S2" ] in
+  let reports, diffs = Monitor.audit_series [ good; good; bad ] request in
+  check Alcotest.int "three reports" 3 (List.length reports);
+  check Alcotest.int "two diffs" 2 (List.length diffs);
+  check (Alcotest.option Alcotest.int) "regression in second diff" (Some 1)
+    (Monitor.first_regression diffs)
+
 let () =
   Alcotest.run "core"
     [
@@ -545,6 +588,11 @@ let () =
           Alcotest.test_case "probability movement" `Quick
             test_monitor_probability_movement;
           Alcotest.test_case "validation" `Quick test_monitor_validation;
+          Alcotest.test_case "single snapshot" `Quick test_monitor_single_snapshot;
+          Alcotest.test_case "expected-size changes" `Quick
+            test_monitor_expected_size_changes;
+          Alcotest.test_case "first regression index" `Quick
+            test_monitor_first_regression_index;
         ] );
     ]
 

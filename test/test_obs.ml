@@ -1,0 +1,425 @@
+module Span = Indaas_obs.Span
+module Metrics = Indaas_obs.Metrics
+module Registry = Indaas_obs.Registry
+module Export = Indaas_obs.Export
+module Json = Indaas_util.Json
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* A deterministic test clock: every read advances by [step] ns. *)
+let ticker ?(step = 1_000L) () =
+  let t = ref 0L in
+  fun () ->
+    t := Int64.add !t step;
+    !t
+
+(* --- Span ----------------------------------------------------------- *)
+
+let test_span_lifecycle () =
+  let s = Span.make ~id:7L ~name:"s" ~start_ns:100L in
+  check Alcotest.bool "open" false (Span.closed s);
+  check Alcotest.int64 "open duration" 0L (Span.duration_ns s);
+  Span.stop s ~now_ns:350L;
+  check Alcotest.bool "closed" true (Span.closed s);
+  check Alcotest.int64 "duration" 250L (Span.duration_ns s);
+  check (Alcotest.float 1e-12) "seconds" 2.5e-7 (Span.duration_seconds s);
+  Alcotest.check_raises "double stop"
+    (Invalid_argument "Span.stop: \"s\" already stopped") (fun () ->
+      Span.stop s ~now_ns:400L)
+
+let test_span_clamps_backwards_clock () =
+  let s = Span.make ~id:1L ~name:"s" ~start_ns:500L in
+  Span.stop s ~now_ns:200L;
+  check Alcotest.int64 "clamped to start" 0L (Span.duration_ns s);
+  check Alcotest.bool "still well-formed" true (Span.well_formed s)
+
+let test_span_attrs_last_write_wins () =
+  let s = Span.make ~id:1L ~name:"s" ~start_ns:0L in
+  Span.add_attr s "k" "v1";
+  Span.add_attr s "other" "x";
+  Span.add_attr s "k" "v2";
+  (* A rewritten key moves to the end: attrs read as most-recent-last. *)
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "last write wins"
+    [ ("other", "x"); ("k", "v2") ]
+    (Span.attrs s)
+
+let test_span_children_in_start_order () =
+  let p = Span.make ~id:1L ~name:"p" ~start_ns:0L in
+  let a = Span.make ~id:2L ~name:"a" ~start_ns:1L in
+  let b = Span.make ~id:3L ~name:"b" ~start_ns:2L in
+  Span.add_child p a;
+  Span.add_child p b;
+  check
+    (Alcotest.list Alcotest.string)
+    "start order" [ "a"; "b" ]
+    (List.map (fun (s : Span.t) -> s.Span.name) (Span.children p));
+  check Alcotest.int "count includes root" 3 (Span.count p)
+
+let test_span_well_formed_rejects_escape () =
+  let p = Span.make ~id:1L ~name:"p" ~start_ns:0L in
+  let c = Span.make ~id:2L ~name:"c" ~start_ns:5L in
+  Span.add_child p c;
+  Span.stop c ~now_ns:50L;
+  Span.stop p ~now_ns:20L;
+  (* Child interval [5,50] escapes parent [0,20]. *)
+  check Alcotest.bool "escaping child" false (Span.well_formed p);
+  let q = Span.make ~id:3L ~name:"q" ~start_ns:0L in
+  check Alcotest.bool "open span is not well-formed" false (Span.well_formed q)
+
+let test_span_find_all () =
+  let p = Span.make ~id:1L ~name:"collect" ~start_ns:0L in
+  let c1 = Span.make ~id:2L ~name:"collect.source" ~start_ns:1L in
+  let c2 = Span.make ~id:3L ~name:"collect.source" ~start_ns:2L in
+  Span.add_child p c1;
+  Span.add_child p c2;
+  check Alcotest.int "two sources" 2
+    (List.length (Span.find_all ~name:"collect.source" p));
+  check Alcotest.int "root found" 1
+    (List.length (Span.find_all ~name:"collect" p))
+
+let test_span_json_and_render () =
+  let p = Span.make ~id:0xABL ~name:"root" ~start_ns:0L in
+  Span.add_attr p "k" "v";
+  Span.stop p ~now_ns:1500L;
+  check Alcotest.string "id hex" "ab" (Span.id_hex p);
+  (match Span.to_json p with
+  | Json.Obj fields ->
+      check Alcotest.bool "has children field" true
+        (List.mem_assoc "children" fields);
+      check Alcotest.bool "has attrs" true (List.mem_assoc "attrs" fields)
+  | _ -> Alcotest.fail "span json must be an object");
+  check Alcotest.bool "render mentions name" true
+    (Astring.String.is_infix ~affix:"root" (Span.render p))
+
+(* --- Metrics -------------------------------------------------------- *)
+
+let test_counters () =
+  let m = Metrics.create () in
+  check Alcotest.int "unknown counter reads 0" 0 (Metrics.counter m "x");
+  Metrics.incr m "x";
+  Metrics.incr m ~by:4 "x";
+  check Alcotest.int "accumulates" 5 (Metrics.counter m "x");
+  Alcotest.check_raises "negative increment"
+    (Invalid_argument "Metrics.incr: counters are monotonic") (fun () ->
+      Metrics.incr m ~by:(-1) "x")
+
+let test_gauges () =
+  let m = Metrics.create () in
+  check (Alcotest.option (Alcotest.float 0.)) "absent" None (Metrics.gauge m "g");
+  Metrics.set_gauge m "g" 1.5;
+  Metrics.set_gauge m "g" 2.5;
+  check
+    (Alcotest.option (Alcotest.float 0.))
+    "last write" (Some 2.5) (Metrics.gauge m "g")
+
+let test_histograms () =
+  let m = Metrics.create () in
+  List.iter
+    (fun v -> Metrics.observe m ~bounds:[| 1.; 10.; 100. |] "h" v)
+    [ 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9.; 10. ];
+  match Metrics.histogram m "h" with
+  | None -> Alcotest.fail "histogram must exist"
+  | Some h ->
+      check Alcotest.int "count" 10 (Metrics.histogram_count h);
+      check (Alcotest.float 1e-9) "sum" 55. (Metrics.histogram_sum h);
+      check (Alcotest.float 1e-9) "p50 exact" 5.5 (Metrics.percentile h 50.);
+      check (Alcotest.float 1e-9) "p99" 9.91 (Metrics.percentile h 99.)
+
+let test_histogram_bad_bounds () =
+  let m = Metrics.create () in
+  Alcotest.check_raises "empty bounds"
+    (Invalid_argument "Metrics.observe: empty bucket bounds") (fun () ->
+      Metrics.observe m ~bounds:[||] "h" 1.);
+  Alcotest.check_raises "non-ascending"
+    (Invalid_argument "Metrics.observe: bucket bounds must ascend") (fun () ->
+      Metrics.observe m ~bounds:[| 2.; 1. |] "h2" 1.)
+
+let test_metrics_sorted_and_empty () =
+  let m = Metrics.create () in
+  check Alcotest.bool "fresh is empty" true (Metrics.is_empty m);
+  check Alcotest.string "empty render" "no metrics recorded\n"
+    (Metrics.render m);
+  Metrics.incr m "z";
+  Metrics.incr m "a";
+  Metrics.incr m "m";
+  check
+    (Alcotest.list Alcotest.string)
+    "sorted by name" [ "a"; "m"; "z" ]
+    (List.map fst (Metrics.counters m));
+  Metrics.clear m;
+  check Alcotest.bool "cleared" true (Metrics.is_empty m)
+
+(* --- Registry ------------------------------------------------------- *)
+
+let test_disabled_facade_is_noop () =
+  let before = List.length (Registry.roots (Registry.current ())) in
+  check Alcotest.bool "global starts disabled" false (Registry.on ());
+  let v = Registry.with_span "nope" (fun () -> 42) in
+  Registry.incr "nope";
+  Registry.observe "nope" 1.0;
+  Registry.span_attr "k" "v";
+  check Alcotest.int "thunk still runs" 42 v;
+  check Alcotest.int "no spans recorded" before
+    (List.length (Registry.roots (Registry.current ())));
+  check Alcotest.bool "no metrics recorded" true
+    (Metrics.is_empty (Registry.metrics (Registry.current ())))
+
+let test_with_scope_records_and_restores () =
+  let outer = Registry.current () in
+  let v, scoped =
+    Registry.with_scope ~clock:(ticker ()) (fun _ ->
+        Registry.with_span "root" (fun () ->
+            Registry.with_span "child" (fun () -> Registry.incr "c");
+            "done"))
+  in
+  check Alcotest.string "result" "done" v;
+  check Alcotest.bool "previous registry restored" true
+    (outer == Registry.current ());
+  match Registry.roots scoped with
+  | [ root ] ->
+      check Alcotest.string "root name" "root" root.Span.name;
+      check Alcotest.bool "well-formed" true (Span.well_formed root);
+      check
+        (Alcotest.list Alcotest.string)
+        "nesting" [ "child" ]
+        (List.map (fun (s : Span.t) -> s.Span.name) (Span.children root));
+      check Alcotest.int "counter" 1 (Metrics.counter (Registry.metrics scoped) "c")
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_with_scope_restores_on_raise () =
+  let outer = Registry.current () in
+  (try
+     ignore
+       (Registry.with_scope (fun _ ->
+            Registry.with_span "boom" (fun () -> failwith "boom")))
+   with Failure _ -> ());
+  check Alcotest.bool "restored after raise" true (outer == Registry.current ())
+
+let test_span_closed_on_raise () =
+  let (), scoped =
+    Registry.with_scope ~clock:(ticker ()) (fun _ ->
+        try Registry.with_span "boom" (fun () -> failwith "x")
+        with Failure _ -> ())
+  in
+  match Registry.roots scoped with
+  | [ root ] ->
+      check Alcotest.bool "closed despite raise" true (Span.closed root);
+      check Alcotest.bool "well-formed" true (Span.well_formed root)
+  | _ -> Alcotest.fail "expected one root"
+
+let test_stop_span_lifo () =
+  let (), _ =
+    Registry.with_scope ~clock:(ticker ()) (fun reg ->
+        let outer = Registry.start_span reg "outer" in
+        let inner = Registry.start_span reg "inner" in
+        Alcotest.check_raises "out of order"
+          (Invalid_argument
+             "Registry.stop_span: \"outer\" is not the innermost open span")
+          (fun () -> Registry.stop_span reg outer);
+        Registry.stop_span reg inner;
+        Registry.stop_span reg outer)
+  in
+  ()
+
+let test_span_attr_targets_innermost () =
+  let (), scoped =
+    Registry.with_scope ~clock:(ticker ()) (fun _ ->
+        Registry.with_span "outer" (fun () ->
+            Registry.with_span "inner" (fun () -> Registry.span_attr "k" "v")))
+  in
+  match Registry.roots scoped with
+  | [ root ] -> (
+      match Span.children root with
+      | [ inner ] ->
+          check
+            (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+            "attr on inner" [ ("k", "v") ] (Span.attrs inner);
+          check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+            "outer untouched" [] (Span.attrs root)
+      | _ -> Alcotest.fail "expected one child")
+  | _ -> Alcotest.fail "expected one root"
+
+let test_reset_reseeds_ids () =
+  let record reg =
+    Registry.with_span_in reg "a" (fun () -> ());
+    match Registry.roots reg with
+    | [ s ] -> s.Span.id
+    | _ -> Alcotest.fail "one root expected"
+  in
+  let (), _ =
+    Registry.with_scope ~seed:9 ~clock:(ticker ()) (fun reg ->
+        let id1 = record reg in
+        Registry.reset reg;
+        let id2 = record reg in
+        check Alcotest.int64 "same seed, same id stream" id1 id2;
+        Registry.reset ~seed:10 reg;
+        let id3 = record reg in
+        check Alcotest.bool "different seed differs" true
+          (not (Int64.equal id1 id3)))
+  in
+  ()
+
+(* --- Export --------------------------------------------------------- *)
+
+let field name = function
+  | Json.Obj fields -> List.assoc name fields
+  | _ -> Alcotest.fail "expected a JSON object"
+
+let test_chrome_trace_shape () =
+  let (), scoped =
+    Registry.with_scope ~clock:(ticker ~step:100L ()) (fun _ ->
+        Registry.with_span "root" ~attrs:[ ("k", "v") ] (fun () -> ()))
+  in
+  let trace = Export.chrome_trace scoped in
+  (match field "traceEvents" trace with
+  | Json.List [ ev ] ->
+      check Alcotest.string "complete event"
+        (Json.to_string (Json.String "X"))
+        (Json.to_string (field "ph" ev));
+      (* start = 100ns -> 0us truncated; dur = 100ns -> 1us, rounded up
+         so the sub-microsecond span stays visible. *)
+      check Alcotest.string "ts truncates" "0" (Json.to_string (field "ts" ev));
+      check Alcotest.string "dur rounds up" "1"
+        (Json.to_string (field "dur" ev));
+      check Alcotest.string "attr in args" (Json.to_string (Json.String "v"))
+        (Json.to_string (field "k" (field "args" ev)))
+  | _ -> Alcotest.fail "expected one trace event");
+  match field "metrics" trace with
+  | Json.Obj _ -> ()
+  | _ -> Alcotest.fail "metrics key must be an object"
+
+let test_export_deterministic_under_virtual_clock () =
+  let run () =
+    let out, scoped =
+      Registry.with_scope ~seed:3 ~clock:(ticker ()) (fun _ ->
+          Registry.with_span "audit" (fun () ->
+              Registry.with_span "collect" (fun () -> Registry.incr "records");
+              Registry.observe ~bounds:[| 1.; 2. |] "h" 1.5))
+    in
+    ignore out;
+    ( Json.to_string (Export.chrome_trace scoped),
+      Json.to_string (Export.to_json scoped),
+      Export.render scoped )
+  in
+  let t1, j1, r1 = run () and t2, j2, r2 = run () in
+  check Alcotest.string "chrome trace byte-identical" t1 t2;
+  check Alcotest.string "json byte-identical" j1 j2;
+  check Alcotest.string "ascii byte-identical" r1 r2
+
+let test_span_count_sees_open_root () =
+  let counted, _ =
+    Registry.with_scope ~clock:(ticker ()) (fun reg ->
+        Registry.with_span "sia.audit" (fun () ->
+            Registry.with_span "collect" (fun () ->
+                Registry.with_span "collect.source" (fun () -> ()));
+            (* From inside the still-open root — exactly where the
+               IND-O001 check runs. *)
+            ( Export.span_count reg,
+              Export.span_count ~name:"collect" reg,
+              Export.span_count ~name:"absent" reg )))
+  in
+  let total, collect, absent = counted in
+  check Alcotest.int "total includes open root" 3 total;
+  check Alcotest.int "by name" 1 collect;
+  check Alcotest.int "absent" 0 absent
+
+let test_summary_lists_roots () =
+  let (), scoped =
+    Registry.with_scope ~clock:(ticker ()) (fun _ ->
+        Registry.with_span "a" (fun () -> ());
+        Registry.with_span "b" (fun () -> Registry.with_span "c" (fun () -> ())))
+  in
+  let summary = Export.summary scoped in
+  check Alcotest.bool "mentions a" true
+    (Astring.String.is_infix ~affix:"a:" summary);
+  check Alcotest.bool "b has two spans" true
+    (Astring.String.is_infix ~affix:"(2 spans)" summary);
+  let empty, fresh = Registry.with_scope (fun _ -> ()) in
+  ignore empty;
+  check Alcotest.string "empty summary" "" (Export.summary fresh)
+
+(* --- qcheck: instrumented call trees are well-formed ----------------- *)
+
+(* A random tree shape, driven by the repo PRNG so shrinking stays
+   meaningful: [run_shape] replays it as nested instrumented calls. *)
+let rec run_shape rng depth =
+  let fanout = if depth >= 3 then 0 else Indaas_util.Prng.int rng 4 in
+  Registry.with_span "node" (fun () ->
+      Registry.incr "nodes";
+      for _ = 1 to fanout do
+        run_shape rng (depth + 1)
+      done)
+
+let prop_span_trees_well_formed =
+  QCheck.Test.make ~name:"nested instrumented calls yield well-formed trees"
+    ~count:200
+    QCheck.(pair small_int (int_range 1 5))
+    (fun (seed, top) ->
+      let (), scoped =
+        Registry.with_scope ~seed ~clock:(ticker ()) (fun _ ->
+            let rng = Indaas_util.Prng.of_int seed in
+            for _ = 1 to top do
+              run_shape rng 0
+            done)
+      in
+      let roots = Registry.roots scoped in
+      List.length roots = top
+      && List.for_all Span.well_formed roots
+      && List.fold_left (fun acc s -> acc + Span.count s) 0 roots
+         = Metrics.counter (Registry.metrics scoped) "nodes")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "span",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_span_lifecycle;
+          Alcotest.test_case "backwards clock clamped" `Quick
+            test_span_clamps_backwards_clock;
+          Alcotest.test_case "attrs last-write-wins" `Quick
+            test_span_attrs_last_write_wins;
+          Alcotest.test_case "children in start order" `Quick
+            test_span_children_in_start_order;
+          Alcotest.test_case "well-formed rejects escape" `Quick
+            test_span_well_formed_rejects_escape;
+          Alcotest.test_case "find_all" `Quick test_span_find_all;
+          Alcotest.test_case "json and render" `Quick test_span_json_and_render;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "gauges" `Quick test_gauges;
+          Alcotest.test_case "histograms" `Quick test_histograms;
+          Alcotest.test_case "bad bounds" `Quick test_histogram_bad_bounds;
+          Alcotest.test_case "sorted and empty" `Quick
+            test_metrics_sorted_and_empty;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "disabled facade is no-op" `Quick
+            test_disabled_facade_is_noop;
+          Alcotest.test_case "scope records and restores" `Quick
+            test_with_scope_records_and_restores;
+          Alcotest.test_case "scope restores on raise" `Quick
+            test_with_scope_restores_on_raise;
+          Alcotest.test_case "span closed on raise" `Quick
+            test_span_closed_on_raise;
+          Alcotest.test_case "stop_span is LIFO" `Quick test_stop_span_lifo;
+          Alcotest.test_case "span_attr targets innermost" `Quick
+            test_span_attr_targets_innermost;
+          Alcotest.test_case "reset reseeds ids" `Quick test_reset_reseeds_ids;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace shape" `Quick test_chrome_trace_shape;
+          Alcotest.test_case "deterministic under virtual clock" `Quick
+            test_export_deterministic_under_virtual_clock;
+          Alcotest.test_case "span_count sees open root" `Quick
+            test_span_count_sees_open_root;
+          Alcotest.test_case "summary" `Quick test_summary_lists_roots;
+        ] );
+      ("properties", [ qtest prop_span_trees_well_formed ]);
+    ]

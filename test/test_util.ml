@@ -246,10 +246,27 @@ let test_format_bytes () =
   check Alcotest.string "KB" "2.0KB" (Timing.format_bytes 2048);
   check Alcotest.string "MB" "1.00MB" (Timing.format_bytes (1024 * 1024))
 
+let test_format_seconds_degenerate () =
+  check Alcotest.string "zero" "0s" (Timing.format_seconds 0.);
+  check Alcotest.string "negative zero" "0s" (Timing.format_seconds (-0.));
+  check Alcotest.string "nan" "nan" (Timing.format_seconds Float.nan);
+  check Alcotest.string "inf" "inf" (Timing.format_seconds Float.infinity);
+  check Alcotest.string "-inf" "-inf" (Timing.format_seconds Float.neg_infinity);
+  check Alcotest.string "negative ms" "-12.0ms" (Timing.format_seconds (-0.012));
+  check Alcotest.string "negative m" "-2m05s" (Timing.format_seconds (-125.))
+
 let test_time_returns_result () =
   let v, elapsed = Timing.time (fun () -> 21 * 2) in
   check Alcotest.int "result" 42 v;
   check Alcotest.bool "non-negative" true (elapsed >= 0.)
+
+let test_now_ns_monotonic_enough () =
+  let a = Timing.now_ns () in
+  let b = Timing.now_ns () in
+  (* gettimeofday can step backwards under NTP, but within one test
+     run the two reads should be ordered and in a sane epoch range. *)
+  check Alcotest.bool "ordered" true (Int64.compare b a >= 0);
+  check Alcotest.bool "after 2001" true (Int64.compare a 1_000_000_000_000_000_000L > 0)
 
 
 (* --- Json ---------------------------------------------------------- *)
@@ -367,7 +384,10 @@ let () =
       ( "timing",
         [
           Alcotest.test_case "format seconds" `Quick test_format_seconds;
+          Alcotest.test_case "format seconds degenerate" `Quick
+            test_format_seconds_degenerate;
           Alcotest.test_case "format bytes" `Quick test_format_bytes;
           Alcotest.test_case "time" `Quick test_time_returns_result;
+          Alcotest.test_case "now_ns" `Quick test_now_ns_monotonic_enough;
         ] );
     ]

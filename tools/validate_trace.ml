@@ -1,0 +1,88 @@
+(* Strict validator for the Chrome trace_event files `indaas --trace`
+   writes. Used by the @obs-smoke alias: an instrumented audit's trace
+   must parse with the repo's strict JSON parser and satisfy the
+   structural contract below, or the build fails.
+
+   Usage: validate_trace FILE ROOT [REQUIRED ...]
+
+   Checks that FILE is one JSON object with `traceEvents`,
+   `displayTimeUnit` and `metrics`; that every event is a complete
+   ("ph":"X") event with non-negative integer ts/dur and a span id;
+   that exactly one event is named ROOT; that every REQUIRED span name
+   appears at least once; and that all events fit inside the root's
+   interval (1us slack per endpoint — microsecond rounding is allowed
+   to push a sub-us child past a truncated parent edge). *)
+
+module Json = Indaas_util.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("trace INVALID: " ^ s); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+type event = { name : string; ts : int; dur : int }
+
+let decode_event j =
+  let field name = Json.member name j in
+  let name = Json.to_string_exn "name" (field "name") in
+  let ph = Json.to_string_exn "ph" (field "ph") in
+  if ph <> "X" then fail "event %S: expected complete event (ph=X), got ph=%S" name ph;
+  let ts = Json.to_int_exn "ts" (field "ts") in
+  let dur = Json.to_int_exn "dur" (field "dur") in
+  if ts < 0 then fail "event %S: negative ts %d" name ts;
+  if dur < 0 then fail "event %S: negative dur %d" name dur;
+  ignore (Json.to_int_exn "pid" (field "pid"));
+  ignore (Json.to_int_exn "tid" (field "tid"));
+  (match field "args" with
+  | Some (Json.Obj _ as args) ->
+      ignore (Json.to_string_exn "args.id" (Json.member "id" args))
+  | _ -> fail "event %S: missing args object" name);
+  { name; ts; dur }
+
+let () =
+  let path, root_name, required =
+    match Array.to_list Sys.argv with
+    | _ :: path :: root :: required -> (path, root, required)
+    | _ ->
+        prerr_endline "usage: validate_trace FILE ROOT [REQUIRED ...]";
+        exit 2
+  in
+  let json =
+    match Json.of_string (read_file path) with
+    | json -> json
+    | exception Json.Parse_error msg -> fail "%s: %s" path msg
+  in
+  let events =
+    match Json.member "traceEvents" json with
+    | Some (Json.List events) -> List.map decode_event events
+    | _ -> fail "%s: no traceEvents array" path
+  in
+  if events = [] then fail "%s: empty traceEvents" path;
+  (match Json.member "displayTimeUnit" json with
+  | Some (Json.String _) -> ()
+  | _ -> fail "%s: missing displayTimeUnit" path);
+  (match Json.member "metrics" json with
+  | Some (Json.Obj _) -> ()
+  | _ -> fail "%s: missing metrics object" path);
+  let roots = List.filter (fun e -> e.name = root_name) events in
+  let root =
+    match roots with
+    | [ root ] -> root
+    | _ -> fail "expected exactly one %S root span, found %d" root_name (List.length roots)
+  in
+  List.iter
+    (fun name ->
+      if not (List.exists (fun e -> e.name = name) events) then
+        fail "required span %S not recorded" name)
+    required;
+  List.iter
+    (fun e ->
+      if e.ts + 1 < root.ts || e.ts + e.dur > root.ts + root.dur + 1 then
+        fail "span %S [%d,%d]us escapes root %S [%d,%d]us" e.name e.ts
+          (e.ts + e.dur) root.name root.ts (root.ts + root.dur))
+    events;
+  Printf.printf "trace OK: %d events under %S (%dus)\n" (List.length events)
+    root.name root.dur
