@@ -1,0 +1,138 @@
+(* Serving-stack benchmark: requests/sec and tail latency of the audit
+   daemon's request path, cold cache vs warm cache.
+
+   A fat-tree DepDB is submitted over the protocol, then every server
+   pair is audited twice: the first sweep computes (and caches) each
+   report, the second is answered entirely from the result cache. The
+   measured per-request latencies land in BENCH_service.json as the
+   serving-path perf baseline. *)
+
+module Fattree = Indaas_topology.Fattree
+module Dependency = Indaas_depdata.Dependency
+module Stats = Indaas_util.Stats
+module Table = Indaas_util.Table
+module Timing = Indaas_util.Timing
+module Json = Indaas_util.Json
+module Server = Indaas_service.Server
+module Client = Indaas_service.Client
+module Cache = Indaas_service.Cache
+module Frame = Indaas_service.Frame
+
+let ok_exn (r : Frame.response) =
+  match r.Frame.result with
+  | Ok payload -> payload
+  | Error e ->
+      failwith (Printf.sprintf "bench_service: %s: %s" e.Frame.code e.Frame.message)
+
+(* One audit request per server pair: every spec digest differs, so
+   the cold sweep cannot hit the cache. *)
+let requests tree pairs =
+  List.mapi
+    (fun i (a, b) ->
+      Client.audit ~id:(i + 2)
+        ~options:{ Client.audit_options with seed = Some 7 }
+        ~servers:[ Fattree.server_name tree a; Fattree.server_name tree b ]
+        ())
+    pairs
+
+let sweep srv reqs =
+  let latencies =
+    List.map
+      (fun req ->
+        let t0 = Timing.now_ns () in
+        let response = Server.handle srv req in
+        let t1 = Timing.now_ns () in
+        ignore (ok_exn response);
+        Int64.to_float (Int64.sub t1 t0) /. 1e9)
+      reqs
+  in
+  Array.of_list latencies
+
+let phase_row table name latencies =
+  let n = Array.length latencies in
+  let total = Stats.sum latencies in
+  let p50 = Stats.percentile latencies 50. in
+  let p99 = Stats.percentile latencies 99. in
+  Table.add_row table
+    [
+      name;
+      string_of_int n;
+      Timing.format_seconds total;
+      Printf.sprintf "%.0f" (float_of_int n /. total);
+      Timing.format_seconds p50;
+      Timing.format_seconds p99;
+    ];
+  (total, p50, p99)
+
+let phase_json name latencies (total, p50, p99) =
+  ( name,
+    Json.Obj
+      [
+        ("requests", Json.Int (Array.length latencies));
+        ("seconds", Json.Float total);
+        ( "requests_per_second",
+          Json.Float (float_of_int (Array.length latencies) /. total) );
+        ("p50_seconds", Json.Float p50);
+        ("p99_seconds", Json.Float p99);
+      ] )
+
+let run () =
+  Bench_common.heading "Serving stack: request throughput, cold vs warm cache";
+  let k = Bench_common.scale ~quick:4 ~standard:8 ~full:16 in
+  let pair_count = Bench_common.scale ~quick:8 ~standard:48 ~full:200 in
+  let tree = Fattree.create ~k in
+  let servers = Fattree.server_count tree in
+  let pairs =
+    (* Pairs fanning out from a handful of anchors: distinct specs,
+       overlapping graph structure — the cache is the only thing that
+       distinguishes the two sweeps. *)
+    List.init pair_count (fun i ->
+        let a = i mod (servers / 2) and b = servers - 1 - (i mod (servers / 2)) in
+        if a = b then (0, servers - 1) else (a, b))
+    |> List.sort_uniq compare
+  in
+  let records =
+    Dependency.to_xml_many
+      (List.concat_map
+         (fun s -> Fattree.network_records tree ~server:s)
+         (List.sort_uniq compare
+            (List.concat_map (fun (a, b) -> [ a; b ]) pairs)))
+  in
+  let srv = Server.create () in
+  let submit_seconds =
+    Timing.time_only (fun () ->
+        ignore
+          (ok_exn
+             (Server.handle srv
+                (Client.submit_deps ~id:1 ~source:"fattree" ~records ()))))
+  in
+  Bench_common.note "fat-tree k=%d: %d byte(s) of records submitted in %s"
+    k (String.length records)
+    (Timing.format_seconds submit_seconds);
+  let reqs = requests tree pairs in
+  let cold = sweep srv reqs in
+  let warm = sweep srv reqs in
+  let stats = Server.cache_stats srv in
+  assert (stats.Cache.hits >= Array.length warm);
+  let table =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right;
+                Table.Right; Table.Right ]
+      [ "phase"; "requests"; "total"; "req/s"; "p50"; "p99" ]
+  in
+  let cold_summary = phase_row table "cold (compute + fill)" cold in
+  let warm_summary = phase_row table "warm (cache hits)" warm in
+  Table.print table;
+  Bench_common.note "cache: %d entr(ies), %d hit(s), %d miss(es)"
+    stats.Cache.entries stats.Cache.hits stats.Cache.misses;
+  Bench_common.write_json ~path:"BENCH_service.json"
+    (Json.Obj
+       [
+         ("benchmark", Json.String "service");
+         ("fattree_k", Json.Int k);
+         ("distinct_specs", Json.Int (List.length pairs));
+         ("submit_seconds", Json.Float submit_seconds);
+         phase_json "cold" cold cold_summary;
+         phase_json "warm" warm warm_summary;
+         ("cache", Cache.stats_to_json stats);
+       ])

@@ -8,6 +8,8 @@
      indaas case  network|hardware|software
      indaas chaos --scenario sia-lab --plan crash-one --trials 10 --seed 42
      indaas dot   --db deps.xml --servers S1,S2 -o graph.dot
+     indaas serve --one-shot [--metrics]
+     indaas client --submit db=deps.xml --audit --servers S1,S2 --shutdown
 *)
 
 module Depdb = Indaas_depdata.Depdb
@@ -30,6 +32,10 @@ module Diagnostic = Indaas_lint.Diagnostic
 module Obs = Indaas_obs.Registry
 module Obs_export = Indaas_obs.Export
 module Vclock = Indaas_resilience.Vclock
+module Server = Indaas_service.Server
+module Client = Indaas_service.Client
+module Transport = Indaas_service.Transport
+module Frame = Indaas_service.Frame
 open Cmdliner
 
 let read_file path =
@@ -351,10 +357,23 @@ let parse_fault_entries specs =
           exit 124)
     specs
 
+let print_digest_arg =
+  Arg.(
+    value & flag
+    & info [ "print-digest" ]
+        ~doc:
+          "Print the dependency database's canonical SHA-256 content \
+           digest and exit without auditing. The same digest versions \
+           snapshots and keys result caching in $(b,indaas serve).")
+
 let sia_cmd =
   let run db servers required algorithm engine max_family rounds prob json seed
-      strict disable faults trace metrics =
+      strict disable faults trace metrics print_digest =
     let disable = List.concat disable in
+    if print_digest then begin
+      print_endline (Depdb.digest (load_db db));
+      exit 0
+    end;
     (* Under --fault the database is re-collected through the fault
        injector and the retry engine, as if a flaky data source served
        it: the audit then runs over whatever records survived. *)
@@ -458,7 +477,7 @@ let sia_cmd =
       const run $ db_arg $ servers_arg $ required_arg $ algorithm_arg
       $ engine_arg $ max_family_arg $ rounds_arg $ prob_arg $ json_arg
       $ seed_arg $ strict_arg $ disable_arg $ fault_arg $ trace_arg
-      $ metrics_arg)
+      $ metrics_arg $ print_digest_arg)
   in
   Cmd.v
     (Cmd.info "sia" ~doc:"Structural independence audit of one deployment.")
@@ -927,6 +946,364 @@ let coverage_cmd =
     Term.(const run $ db_arg $ servers_arg $ required_arg $ bias_arg
           $ checkpoints_arg $ seed_arg)
 
+(* --- indaas serve / indaas client -------------------------------------- *)
+
+let serve_cmd =
+  let run one_shot seed max_queue deadline cache_capacity trace metrics =
+    if not one_shot then begin
+      prerr_endline
+        "indaas serve: only --one-shot serving is supported (read every \
+         request frame from stdin, answer on stdout, exit)";
+      exit 124
+    end;
+    let config =
+      {
+        Server.seed;
+        max_queue;
+        default_deadline = deadline;
+        cache_capacity;
+      }
+    in
+    let srv = Server.create ~config () in
+    (* Timestamps come from the scheduler's virtual clock, so traces
+       and metrics are a function of (request stream, seed) — two runs
+       over the same input compare byte-identical. *)
+    if metrics || trace <> None then begin
+      let clock =
+        Obs.clock_of_seconds (fun () -> Vclock.now (Server.clock srv))
+      in
+      Obs.enable ~clock ~seed (Obs.current ())
+    end;
+    set_binary_mode_in stdin true;
+    set_binary_mode_out stdout true;
+    Server.serve srv (Transport.of_channels stdin stdout);
+    let reg = Obs.current () in
+    (match trace with
+    | Some path -> Obs_export.write_chrome_trace reg ~path
+    | None -> ());
+    (* Frames own stdout; the observability summary goes to stderr. *)
+    if metrics then begin
+      prerr_string (Obs_export.summary reg);
+      prerr_string (Indaas_obs.Metrics.render (Obs.metrics reg))
+    end
+  in
+  let one_shot_arg =
+    Arg.(
+      value & flag
+      & info [ "one-shot" ]
+          ~doc:
+            "Serve one connection over stdin/stdout: admit every request \
+             frame through the scheduler until end of input (or a \
+             $(b,shutdown) request), then answer all of them in arrival \
+             order and exit.")
+  in
+  let max_queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission-control bound: requests beyond $(docv) queued ones \
+             are shed with an $(b,overloaded) error.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Default queue-wait deadline in virtual seconds; requests that \
+             waited longer are shed with a $(b,deadline-exceeded) error. \
+             Per-request $(b,deadline) parameters override it.")
+  in
+  let cache_capacity_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Result-cache entries to keep (LRU beyond $(docv)).")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Record counters and histograms for this run and print them \
+             (plus a span summary) to stderr after serving.")
+  in
+  let term =
+    Term.(
+      const run $ one_shot_arg $ seed_arg $ max_queue_arg $ deadline_arg
+      $ cache_capacity_arg $ trace_arg $ metrics_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Audit daemon: answer protocol-v1 request frames over stdin/stdout \
+          with snapshot storage, request scheduling and result caching.")
+    term
+
+let client_cmd =
+  let read_all ic =
+    let chunk = 65536 in
+    let bytes = Bytes.create chunk in
+    let buf = Buffer.create chunk in
+    let rec loop () =
+      let n = input ic bytes 0 chunk in
+      if n > 0 then begin
+        Buffer.add_subbytes buf bytes 0 n;
+        loop ()
+      end
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let run decode only snapshot submits audit_flag rg_query_flag compares
+      servers required engine max_family algorithm rounds prob seed deadline
+      repeat stats_flag shutdown_flag =
+    if decode then begin
+      set_binary_mode_in stdin true;
+      let responses =
+        match Client.decode_responses (read_all stdin) with
+        | responses -> responses
+        | exception (Frame.Protocol_error msg | Frame.Bad_frame msg) ->
+            Printf.eprintf "indaas client: corrupt response stream: %s\n" msg;
+            exit 1
+        | exception Failure msg ->
+            Printf.eprintf "indaas client: %s\n" msg;
+            exit 1
+      in
+      let failures = ref 0 in
+      List.iter
+        (fun (r : Frame.response) ->
+          let wanted =
+            match only with None -> true | Some id -> id = r.Frame.id
+          in
+          if wanted then
+            match r.Frame.result with
+            | Ok payload ->
+                print_endline (Indaas_util.Json.to_string ~indent:true payload)
+            | Error e ->
+                incr failures;
+                Printf.eprintf "indaas client: response %d: %s: %s\n"
+                  r.Frame.id e.Frame.code e.Frame.message)
+        responses;
+      if !failures > 0 then exit 1
+    end
+    else begin
+      let options =
+        {
+          Client.snapshot;
+          required;
+          engine;
+          max_family;
+          algorithm;
+          rounds;
+          prob;
+          seed;
+          deadline;
+        }
+      in
+      let next_id = ref 0 in
+      let id () =
+        incr next_id;
+        !next_id
+      in
+      let out = Buffer.create 1024 in
+      let emit req = Buffer.add_string out (Frame.encode_request req) in
+      List.iter
+        (fun spec ->
+          match String.index_opt spec '=' with
+          | None ->
+              Printf.eprintf "--submit expects SOURCE=FILE, got %S\n" spec;
+              exit 124
+          | Some i ->
+              let source = String.sub spec 0 i in
+              let path =
+                String.sub spec (i + 1) (String.length spec - i - 1)
+              in
+              emit
+                (Client.submit_deps ~id:(id ()) ?snapshot ~source
+                   ~records:(read_file path) ()))
+        submits;
+      let query_servers flag =
+        match servers with
+        | Some s -> s
+        | None ->
+            Printf.eprintf "indaas client: %s requires --servers\n" flag;
+            exit 124
+      in
+      if audit_flag then begin
+        let servers = query_servers "--audit" in
+        for _ = 1 to repeat do
+          emit (Client.audit ~id:(id ()) ~options ~servers ())
+        done
+      end;
+      if rg_query_flag then begin
+        let servers = query_servers "--rg-query" in
+        for _ = 1 to repeat do
+          emit (Client.rg_query ~id:(id ()) ~options ~servers ())
+        done
+      end;
+      if compares <> [] then begin
+        let candidates = List.map (String.split_on_char ',') compares in
+        for _ = 1 to repeat do
+          emit (Client.compare_deployments ~id:(id ()) ~options ~candidates ())
+        done
+      end;
+      if stats_flag then emit (Client.stats ~id:(id ()));
+      if shutdown_flag then emit (Client.shutdown ~id:(id ()));
+      if !next_id = 0 then begin
+        prerr_endline
+          "indaas client: nothing to send — use --submit, --audit, \
+           --rg-query, --compare, --stats or --shutdown (or --decode to read \
+           responses)";
+        exit 124
+      end;
+      set_binary_mode_out stdout true;
+      print_string (Buffer.contents out)
+    end
+  in
+  let decode_arg =
+    Arg.(
+      value & flag
+      & info [ "decode" ]
+          ~doc:
+            "Decode a response-frame stream from stdin instead of encoding \
+             requests: print each $(b,ok) payload as indented JSON on \
+             stdout; report $(b,error) responses on stderr and exit 1.")
+  in
+  let only_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "only" ] ~docv:"ID"
+          ~doc:"With --decode, print only the response with this request id.")
+  in
+  let snapshot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"NAME"
+          ~doc:"Snapshot to submit to / audit (server default: $(b,default)).")
+  in
+  let submit_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "submit" ] ~docv:"SOURCE=FILE"
+          ~doc:
+            "Emit a $(b,submit-deps) request replacing $(i,SOURCE)'s records \
+             with $(i,FILE)'s Table 1 wire text. Repeatable; submissions \
+             are emitted first, in command-line order.")
+  in
+  let audit_arg =
+    Arg.(
+      value & flag
+      & info [ "audit" ]
+          ~doc:"Emit an $(b,audit) request over --servers.")
+  in
+  let rg_query_arg =
+    Arg.(
+      value & flag
+      & info [ "rg-query" ]
+          ~doc:"Emit an $(b,rg-query) request over --servers.")
+  in
+  let compare_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "compare" ] ~docv:"S1,S2,..."
+          ~doc:
+            "Emit a $(b,compare) request; each occurrence is one candidate \
+             deployment (comma-separated server list). Repeatable.")
+  in
+  let servers_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "servers" ] ~docv:"S1,S2,..."
+          ~doc:"Servers of the deployment for --audit / --rg-query.")
+  in
+  let required_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "required" ] ~docv:"N"
+          ~doc:"Replicas that must stay alive (server default: 1).")
+  in
+  let engine_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Minimal-RG engine: $(b,enum), $(b,bdd) or $(b,auto).")
+  in
+  let max_family_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-family" ] ~docv:"N"
+          ~doc:"Cut-set budget of the enumeration engine.")
+  in
+  let algorithm_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "algorithm" ] ~docv:"ALG"
+          ~doc:"$(b,minimal) or $(b,sampling) (server default: minimal).")
+  in
+  let rounds_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rounds" ] ~docv:"N"
+          ~doc:"Sampling rounds (with --algorithm sampling).")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Audit PRNG seed (server default: its --seed).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Per-request queue-wait deadline in virtual seconds.")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Emit each --audit / --rg-query / --compare request $(docv) \
+             times (distinct ids — exercises the result cache).")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Emit a $(b,stats) request after the queries.")
+  in
+  let shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Emit a final $(b,shutdown) request.")
+  in
+  let term =
+    Term.(
+      const run $ decode_arg $ only_arg $ snapshot_arg $ submit_arg
+      $ audit_arg $ rg_query_arg $ compare_arg $ servers_arg $ required_arg
+      $ engine_arg $ max_family_arg $ algorithm_arg $ rounds_arg $ prob_arg
+      $ seed_arg $ deadline_arg $ repeat_arg $ stats_arg $ shutdown_arg)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Encode protocol-v1 request frames for $(b,indaas serve) (or decode \
+          its response frames with --decode).")
+    term
+
 let () =
   (* INDAAS_LOG=debug|info enables protocol/agent logging on stderr. *)
   (match Sys.getenv_opt "INDAAS_LOG" with
@@ -947,4 +1324,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ lint_cmd; sia_cmd; compare_cmd; pia_cmd; topo_cmd; case_cmd;
-            chaos_cmd; dot_cmd; gen_cmd; coverage_cmd; importance_cmd ]))
+            chaos_cmd; dot_cmd; gen_cmd; coverage_cmd; importance_cmd;
+            serve_cmd; client_cmd ]))

@@ -61,6 +61,15 @@ let component_set t ~machine =
 
 let to_string t = Dependency.to_xml_many (records t)
 
+(* Canonical form: the wire lines in Dependency.compare order, so two
+   databases holding the same record set digest identically no matter
+   what order their sources submitted in. *)
+let digest t =
+  let lines =
+    records t |> List.sort Dependency.compare |> List.map Dependency.to_xml
+  in
+  Indaas_crypto.Digest.sha256_hex (String.concat "\n" lines)
+
 let of_string s =
   let t = create () in
   add_all t (Dependency.of_xml_many s);

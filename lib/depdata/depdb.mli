@@ -42,6 +42,13 @@ val component_set : t -> machine:string -> string list
 val to_string : t -> string
 (** Table 1 wire format, one record per line. *)
 
+val digest : t -> string
+(** Deterministic content hash: lowercase SHA-256 hex over the
+    canonical serialization (wire-format lines in {!Dependency.compare}
+    order). Invariant under record insertion order; changes whenever
+    the record set changes. Snapshot versioning and audit result
+    caching key on it. *)
+
 val of_string : string -> t
 (** Inverse of {!to_string}; tolerant of separators and prose between
     tags. *)

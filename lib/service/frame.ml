@@ -1,0 +1,172 @@
+module Json = Indaas_util.Json
+
+let version = 1
+let max_frame = 16 * 1024 * 1024
+
+exception Protocol_error of string
+exception Bad_frame of string
+
+let protocol_error fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
+let bad_frame fmt = Printf.ksprintf (fun m -> raise (Bad_frame m)) fmt
+
+type request = { id : int; version : int; meth : string; params : Json.t }
+type error = { code : string; message : string }
+type response = { id : int; result : (Json.t, error) result }
+
+(* --- encoding --------------------------------------------------------- *)
+
+let frame payload =
+  let n = String.length payload in
+  if n = 0 then protocol_error "Frame.frame: empty payload";
+  if n > max_frame then
+    protocol_error "Frame.frame: payload of %d bytes exceeds max %d" n max_frame;
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+let request_to_json r =
+  Json.Obj
+    [
+      ("v", Json.Int r.version);
+      ("id", Json.Int r.id);
+      ("method", Json.String r.meth);
+      ("params", r.params);
+    ]
+
+let response_to_json r =
+  match r.result with
+  | Ok payload -> Json.Obj [ ("id", Json.Int r.id); ("ok", payload) ]
+  | Error e ->
+      Json.Obj
+        [
+          ("id", Json.Int r.id);
+          ( "error",
+            Json.Obj
+              [
+                ("code", Json.String e.code); ("message", Json.String e.message);
+              ] );
+        ]
+
+let encode_request r = frame (Json.to_string (request_to_json r))
+let encode_response r = frame (Json.to_string (response_to_json r))
+
+(* --- request/response validation -------------------------------------- *)
+
+let int_field name json =
+  match Json.member name json with
+  | Some (Json.Int i) -> i
+  | Some _ -> bad_frame "frame field %S must be an integer" name
+  | None -> bad_frame "frame is missing the %S field" name
+
+let request_of_json json =
+  match json with
+  | Json.Obj fields ->
+      let id = int_field "id" json in
+      let v = int_field "v" json in
+      let meth =
+        match Json.member "method" json with
+        | Some (Json.String m) when m <> "" -> m
+        | Some _ -> bad_frame "frame field \"method\" must be a string"
+        | None -> bad_frame "frame is missing the \"method\" field"
+      in
+      let params =
+        match Json.member "params" json with
+        | Some (Json.Obj _ as p) -> p
+        | Some Json.Null | None -> Json.Null
+        | Some _ -> bad_frame "frame field \"params\" must be an object"
+      in
+      List.iter
+        (fun (k, _) ->
+          match k with
+          | "v" | "id" | "method" | "params" -> ()
+          | k -> bad_frame "unknown request field %S" k)
+        fields;
+      { id; version = v; meth; params }
+  | _ -> bad_frame "request frame must be a JSON object"
+
+let response_of_json json =
+  match json with
+  | Json.Obj _ -> (
+      let id = int_field "id" json in
+      match (Json.member "ok" json, Json.member "error" json) with
+      | Some payload, None -> { id; result = Ok payload }
+      | None, Some err ->
+          let str name =
+            match Json.member name err with
+            | Some (Json.String s) -> s
+            | _ -> bad_frame "error frame is missing the %S field" name
+          in
+          { id; result = Error { code = str "code"; message = str "message" } }
+      | Some _, Some _ -> bad_frame "response carries both \"ok\" and \"error\""
+      | None, None -> bad_frame "response carries neither \"ok\" nor \"error\"")
+  | _ -> bad_frame "response frame must be a JSON object"
+
+(* --- incremental decoding ---------------------------------------------- *)
+
+(* Unconsumed bytes accumulate in [buf] past [off]; [compact] reclaims
+   the consumed prefix once it dominates the buffer, keeping feeding
+   linear overall. *)
+type decoder = {
+  mutable buf : Bytes.t;
+  mutable off : int;  (** first unconsumed byte *)
+  mutable fill : int;  (** bytes valid in [buf] *)
+  mutable poisoned : bool;
+}
+
+let decoder () = { buf = Bytes.create 256; off = 0; fill = 0; poisoned = false }
+
+let pending_bytes d = d.fill - d.off
+
+let compact d =
+  if d.off > 0 && (d.off = d.fill || d.off > Bytes.length d.buf / 2) then begin
+    Bytes.blit d.buf d.off d.buf 0 (d.fill - d.off);
+    d.fill <- d.fill - d.off;
+    d.off <- 0
+  end
+
+let feed d ?(off = 0) ?len s =
+  if d.poisoned then protocol_error "Frame.feed: decoder is poisoned";
+  let len = match len with Some l -> l | None -> String.length s - off in
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Frame.feed: substring out of bounds";
+  compact d;
+  let needed = d.fill + len in
+  if needed > Bytes.length d.buf then begin
+    let cap = ref (max 256 (Bytes.length d.buf)) in
+    while !cap < needed do
+      cap := !cap * 2
+    done;
+    let bigger = Bytes.create !cap in
+    Bytes.blit d.buf 0 bigger 0 d.fill;
+    d.buf <- bigger
+  end;
+  Bytes.blit_string s off d.buf d.fill len;
+  d.fill <- d.fill + len
+
+let poison d msg =
+  d.poisoned <- true;
+  protocol_error "%s" msg
+
+let next d =
+  if d.poisoned then protocol_error "Frame.next: decoder is poisoned";
+  if pending_bytes d < 4 then None
+  else begin
+    let n = Int32.to_int (Bytes.get_int32_be d.buf d.off) in
+    if n <= 0 then
+      poison d (Printf.sprintf "Frame.next: invalid frame length %d" n)
+    else if n > max_frame then
+      poison d
+        (Printf.sprintf "Frame.next: frame length %d exceeds max %d" n
+           max_frame)
+    else if pending_bytes d < 4 + n then None
+    else begin
+      let payload = Bytes.sub_string d.buf (d.off + 4) n in
+      d.off <- d.off + 4 + n;
+      compact d;
+      match Json.of_string payload with
+      | json -> Some json
+      | exception Json.Parse_error msg ->
+          poison d (Printf.sprintf "Frame.next: payload is not JSON: %s" msg)
+    end
+  end

@@ -1,0 +1,63 @@
+(** Request scheduling: a bounded FIFO queue with admission control
+    and per-request deadlines on a virtual clock.
+
+    The daemon sheds load instead of stalling. Admission rejects a
+    request outright once the queue is full ([overloaded]); at
+    dispatch, a request whose virtual queueing delay already exceeds
+    its deadline is shed unrun ([deadline-exceeded]). Execution
+    advances the {!Indaas_resilience.Vclock} by the request's cost, so
+    deadline arithmetic — like every other timestamp in the serving
+    stack — is a deterministic function of the request stream, and a
+    whole serve run replays byte-identically.
+
+    Shedding is accounted the same way degraded audits are: an
+    {!Indaas_resilience.Degradation} record reporting how many
+    admitted requests were actually served. *)
+
+module Vclock := Indaas_resilience.Vclock
+module Degradation := Indaas_resilience.Degradation
+
+type t
+
+val create : ?clock:Vclock.t -> ?max_queue:int -> ?default_deadline:float ->
+  unit -> t
+(** [max_queue] bounds the pending-request count (default 64;
+    [Invalid_argument] if non-positive). [default_deadline] (virtual
+    seconds, measured from admission to dispatch) applies to requests
+    that state none; absent by default, meaning no deadline. *)
+
+val clock : t -> Vclock.t
+
+val submit :
+  t ->
+  ?deadline:float ->
+  cost:float ->
+  run:(unit -> unit) ->
+  shed:(reason:string -> unit) ->
+  unit ->
+  unit
+(** Enqueue a job. [cost] is the virtual seconds its execution
+    charges. When the queue is full, [shed ~reason:"overloaded"] fires
+    immediately and the job is never run. *)
+
+val run_all : t -> unit
+(** Dispatch the queue in FIFO order: each job either runs (advancing
+    the clock by its cost) or, if its deadline expired while queued,
+    its [shed ~reason:"deadline-exceeded"] fires instead. A raising
+    job propagates its exception; jobs not yet dispatched remain
+    queued. *)
+
+type stats = {
+  submitted : int;
+  admitted : int;
+  served : int;
+  shed_overload : int;
+  shed_deadline : int;
+}
+
+val stats : t -> stats
+val stats_to_json : stats -> Indaas_util.Json.t
+
+val degradation : t -> Degradation.t option
+(** [None] until something was shed; then a record whose completeness
+    is the served fraction of submitted requests. *)

@@ -1,0 +1,57 @@
+(** The INDaaS audit daemon: protocol dispatch over the snapshot
+    store, the request scheduler and the result cache.
+
+    Method set (protocol v1):
+
+    - [submit-deps] — create/update one source of one snapshot from
+      Table 1 wire text; invalidates the affected snapshot's cache
+      entries when the content digest changes.
+    - [audit] — structural independence audit of one deployment over a
+      snapshot; the result is byte-identical to the batch
+      [indaas sia --json] report for the same DepDB/spec/seed.
+    - [compare] — rank candidate deployments ([indaas compare]'s
+      JSON).
+    - [rg-query] — just the minimal risk groups of a deployment.
+    - [stats] — snapshots, cache and scheduler counters.
+    - [shutdown] — stop accepting input ({!serve} drains and returns).
+
+    Every request is dispatched inside a [service.request] span and
+    counted; cache and scheduler activity surfaces as
+    [service.cache.*] / [service.sched.*] metrics. Responses are a
+    deterministic function of (request stream, seed): byte-identical
+    across runs, same contract as chaos/obs. *)
+
+type config = {
+  seed : int;  (** default audit seed when a request states none *)
+  max_queue : int;
+  default_deadline : float option;  (** virtual seconds, queue wait *)
+  cache_capacity : int;
+}
+
+val default_config : config
+(** seed 42, queue 64, no deadline, 1024 cache entries. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val clock : t -> Indaas_resilience.Vclock.t
+(** The scheduler's virtual clock — point the obs registry's clock
+    here for byte-identical traces. *)
+
+val handle : t -> Frame.request -> Frame.response
+(** Dispatch one request immediately, bypassing the queue (used by
+    tests and benchmarks). Never raises: failures come back as error
+    responses. *)
+
+val serve : t -> Transport.t -> unit
+(** One-shot serving: read frames until end of stream (or a
+    [shutdown] request), admitting each through the scheduler, then
+    dispatch the queue and write every response — in request arrival
+    order — before returning. A corrupt frame stream produces a final
+    [id = -1] [bad-frame] error response for the undecodable suffix. *)
+
+val scheduler : t -> Scheduler.t
+val cache_stats : t -> Cache.stats
+val stats_json : t -> Indaas_util.Json.t
+(** The [stats] method's payload. *)

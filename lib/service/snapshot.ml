@@ -1,0 +1,69 @@
+module Depdb = Indaas_depdata.Depdb
+module Dependency = Indaas_depdata.Dependency
+module Json = Indaas_util.Json
+module SM = Map.Make (String)
+
+type snap = { version : int; by_source : Dependency.t list SM.t }
+type store = { mutable snaps : snap SM.t }
+
+type view = {
+  name : string;
+  version : int;
+  digest : string;
+  db : Depdb.t;
+  sources : (string * int) list;
+}
+
+let create () = { snaps = SM.empty }
+
+(* Sources merge in name order, so the union DepDB (and with it record
+   iteration order everywhere downstream) is a pure function of the
+   snapshot's contents, not of submission history. The digest is
+   order-invariant anyway; this keeps reports deterministic too. *)
+let view_of ~name snap =
+  let db = Depdb.create () in
+  SM.iter (fun _ records -> Depdb.add_all db records) snap.by_source;
+  {
+    name;
+    version = snap.version;
+    digest = Depdb.digest db;
+    db;
+    sources = SM.bindings (SM.map List.length snap.by_source);
+  }
+
+let submit store ~snapshot ~source records =
+  let prev =
+    match SM.find_opt snapshot store.snaps with
+    | Some s -> s
+    | None -> { version = 0; by_source = SM.empty }
+  in
+  let by_source =
+    match records with
+    | [] -> SM.remove source prev.by_source
+    | records -> SM.add source records prev.by_source
+  in
+  let snap = { version = prev.version + 1; by_source } in
+  store.snaps <- SM.add snapshot snap store.snaps;
+  view_of ~name:snapshot snap
+
+let get store ~snapshot =
+  Option.map (view_of ~name:snapshot) (SM.find_opt snapshot store.snaps)
+
+let names store = List.map fst (SM.bindings store.snaps)
+
+let to_json store =
+  Json.List
+    (List.map
+       (fun (name, snap) ->
+         let v = view_of ~name snap in
+         Json.Obj
+           [
+             ("snapshot", Json.String name);
+             ("version", Json.Int v.version);
+             ("digest", Json.String v.digest);
+             ("records", Json.Int (Depdb.size v.db));
+             ( "sources",
+               Json.Obj
+                 (List.map (fun (s, n) -> (s, Json.Int n)) v.sources) );
+           ])
+       (SM.bindings store.snaps))

@@ -1,0 +1,43 @@
+(** Versioned in-memory DepDB snapshots with incremental delta
+    submissions.
+
+    Providers submit dependency records per {e source} (a data-source
+    name); a snapshot is the union of its sources' current records.
+    Re-submitting one source replaces only that source's records — a
+    provider updates one collector's view without re-uploading the
+    world. Every accepted submission bumps the snapshot's version and
+    recomputes its content digest ({!Indaas_depdata.Depdb.digest}),
+    which is what audit result caching keys on: a delta that does not
+    change the record set keeps the digest, so cached results stay
+    valid. *)
+
+module Depdb := Indaas_depdata.Depdb
+module Dependency := Indaas_depdata.Dependency
+
+type store
+
+type view = {
+  name : string;
+  version : int;  (** 1 on first submission, +1 per accepted delta *)
+  digest : string;  (** canonical content digest of [db] *)
+  db : Depdb.t;  (** union of all sources, rebuilt per delta *)
+  sources : (string * int) list;
+      (** source name -> record count, sorted by name *)
+}
+
+val create : unit -> store
+
+val submit :
+  store -> snapshot:string -> source:string -> Dependency.t list -> view
+(** Replace [source]'s records inside [snapshot] (creating either as
+    needed) and return the new view. Submitting an empty list drops
+    the source. *)
+
+val get : store -> snapshot:string -> view option
+
+val names : store -> string list
+(** Snapshot names, sorted. *)
+
+val to_json : store -> Indaas_util.Json.t
+(** Per-snapshot version/digest/source summary (for the [stats]
+    method), snapshots in name order. *)

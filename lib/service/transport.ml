@@ -1,0 +1,58 @@
+type t = {
+  read : bytes -> int -> int -> int;
+  write : string -> unit;
+  close : unit -> unit;
+}
+
+let of_channels ic oc =
+  {
+    read =
+      (fun buf off len ->
+        match input ic buf off len with n -> n | exception End_of_file -> 0);
+    write =
+      (fun s ->
+        output_string oc s;
+        flush oc);
+    close = (fun () -> flush oc);
+  }
+
+(* One direction of the loopback: a growable byte queue with an EOF
+   mark. *)
+type pipe = {
+  data : Buffer.t;
+  mutable pos : int;  (** bytes already consumed from [data] *)
+  mutable closed : bool;
+}
+
+let pipe () = { data = Buffer.create 256; pos = 0; closed = false }
+
+let pipe_read p ~chunk buf off len =
+  let available = Buffer.length p.data - p.pos in
+  if available = 0 then
+    if p.closed then 0
+    else
+      failwith
+        "Transport.loopback: read on an empty pipe (peer has not written)"
+  else begin
+    let n = min (min available len) chunk in
+    Buffer.blit p.data p.pos buf off n;
+    p.pos <- p.pos + n;
+    n
+  end
+
+let endpoint ~chunk ~inbound ~outbound =
+  {
+    read = (fun buf off len -> pipe_read inbound ~chunk buf off len);
+    write =
+      (fun s ->
+        if outbound.closed then
+          failwith "Transport.loopback: write on a closed pipe";
+        Buffer.add_string outbound.data s);
+    close = (fun () -> outbound.closed <- true);
+  }
+
+let loopback ?(chunk = max_int) () =
+  if chunk < 1 then invalid_arg "Transport.loopback: chunk must be positive";
+  let ab = pipe () and ba = pipe () in
+  (endpoint ~chunk ~inbound:ba ~outbound:ab,
+   endpoint ~chunk ~inbound:ab ~outbound:ba)

@@ -1,0 +1,31 @@
+(** Pluggable byte-stream transports for the wire protocol.
+
+    A transport is just three closures over an ordered, reliable byte
+    stream; {!Frame} does the framing on top. Two implementations
+    ship: an in-process loopback pair for deterministic tests, and a
+    channel pair for the CLI's stdio pipe. *)
+
+type t = {
+  read : bytes -> int -> int -> int;
+      (** [read buf off len] blocks for at least one byte and returns
+          how many were read, or [0] at end of stream. May return
+          fewer than [len] bytes — framing must tolerate short
+          reads. *)
+  write : string -> unit;
+  close : unit -> unit;
+      (** Signals end of stream to the peer. Idempotent. *)
+}
+
+val of_channels : in_channel -> out_channel -> t
+(** A transport over a channel pair. [write] flushes per call so a
+    piped peer sees complete frames promptly; [close] flushes the
+    output but closes neither channel (stdio belongs to the caller). *)
+
+val loopback : ?chunk:int -> unit -> t * t
+(** [loopback ()] is a connected in-process endpoint pair [(a, b)]:
+    bytes written on [a] are read from [b] and vice versa, in order.
+    Reads return at most [chunk] bytes per call (default unbounded) —
+    [~chunk:1] simulates maximally adversarial packetization. Reading
+    an empty buffer before the peer closed raises [Failure]: the
+    loopback is single-threaded, so a blocking read can never be
+    satisfied later. *)

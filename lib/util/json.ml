@@ -116,15 +116,19 @@ let of_string s =
     else parse_error "Json.of_string: invalid literal at %d" !pos
   in
   let add_utf8 buf code =
-    (* \uXXXX escapes decode to UTF-8 bytes (no surrogate pairing:
-       reports never contain astral-plane characters). *)
     if code < 0x80 then Buffer.add_char buf (Char.chr code)
     else if code < 0x800 then begin
       Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
       Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
     end
-    else begin
+    else if code < 0x10000 then begin
       Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
     end
@@ -151,16 +155,39 @@ let of_string s =
          | 'r' -> Buffer.add_char buf '\r'
          | 't' -> Buffer.add_char buf '\t'
          | 'u' ->
-             if !pos + 4 > len then
-               parse_error "Json.of_string: truncated \\u escape";
-             let hex = String.sub s !pos 4 in
-             pos := !pos + 4;
-             let code =
+             let hex_escape () =
+               if !pos + 4 > len then
+                 parse_error "Json.of_string: truncated \\u escape";
+               let hex = String.sub s !pos 4 in
+               pos := !pos + 4;
                match int_of_string_opt ("0x" ^ hex) with
                | Some c -> c
                | None -> parse_error "Json.of_string: bad \\u escape %S" hex
              in
-             add_utf8 buf code
+             let code = hex_escape () in
+             (* UTF-16 surrogate pairs encode one astral-plane code
+                point across two \u escapes; either half alone is not
+                a character (RFC 8259 §7). *)
+             if code >= 0xD800 && code <= 0xDBFF then begin
+               if
+                 not
+                   (!pos + 1 < len && s.[!pos] = '\\' && s.[!pos + 1] = 'u')
+               then
+                 parse_error
+                   "Json.of_string: lone high surrogate \\u%04X" code;
+               pos := !pos + 2;
+               let low = hex_escape () in
+               if low < 0xDC00 || low > 0xDFFF then
+                 parse_error
+                   "Json.of_string: high surrogate \\u%04X followed by \
+                    \\u%04X, not a low surrogate"
+                   code low;
+               add_utf8 buf
+                 (0x10000 + (((code - 0xD800) lsl 10) lor (low - 0xDC00)))
+             end
+             else if code >= 0xDC00 && code <= 0xDFFF then
+               parse_error "Json.of_string: lone low surrogate \\u%04X" code
+             else add_utf8 buf code
          | e -> parse_error "Json.of_string: bad escape \\%c" e);
         loop ()
       end

@@ -461,3 +461,58 @@ every other code:
   +----------+----------+----------+---------------------------------------------------------------------------------------------------------------------------+
   0 errors, 1 warning, 0 hints
   $ indaas pia --provider CloudA=a.txt --provider CloudB=b.txt --protocol clear --metrics --disable IND-O001 > /dev/null
+
+Serving mode: the same database content-addressed by its canonical
+digest, which versions snapshots and keys result caching in the
+daemon:
+
+  $ indaas sia --db deps.xml --servers S1,S2 --print-digest
+  080831d462ad9e0b2b24a9ecb7a6dd8243b3ea3e7b92b126c1bc6edddafcb756
+
+`indaas client` encodes a protocol-v1 request stream; the one-shot
+daemon reads it from stdin, schedules every request, and answers on
+stdout. The audit response is byte-identical to the batch report for
+the same DepDB/spec/seed, and the repeated request is served from the
+result cache:
+
+  $ indaas client --submit db=deps.xml --audit --servers S1,S2 --seed 7 --repeat 2 --stats --shutdown > req.bin
+  $ indaas serve --one-shot --seed 7 --metrics < req.bin > resp.bin 2> serve-metrics.txt
+  $ indaas client --decode --only 2 < resp.bin > served-audit.json
+  $ indaas sia --db deps.xml --servers S1,S2 --seed 7 --json > batch-audit.json
+  [2]
+  $ cmp served-audit.json batch-audit.json && echo identical
+  identical
+
+The whole response stream is a deterministic function of (request
+stream, seed) — a second run replays byte-identically:
+
+  $ indaas serve --one-shot --seed 7 < req.bin | cmp - resp.bin && echo identical
+  identical
+
+The cache hit surfaces in --metrics (on stderr: stdout carries the
+response frames) and in the stats response:
+
+  $ grep -E 'service\.(cache\.(hit|miss)|requests)' serve-metrics.txt
+  | service.cache.hit      | counter |     1 |
+  | service.cache.miss     | counter |     1 |
+  | service.requests       | counter |     5 |
+  $ indaas client --decode --only 4 < resp.bin | grep -E '"(hits|misses|served)"'
+      "hits": 1,
+      "misses": 1,
+      "served": 4,
+
+A delta submission bumps the snapshot's version and invalidates
+exactly the affected snapshot's cache entries, so the next audit
+recomputes over the new record set:
+
+  $ cat > delta.xml <<'XML'
+  > <hw="S1" type="NIC" dep="S1-nic"/>
+  > XML
+  $ indaas client --submit db=deps.xml --audit --servers S1,S2 --seed 7 > r1.bin
+  $ indaas client --submit nic=delta.xml --audit --servers S1,S2 --seed 7 --stats --shutdown > r2.bin
+  $ cat r1.bin r2.bin | indaas serve --one-shot --seed 7 | indaas client --decode | grep -E '"(invalidated|hits|misses)"'
+    "invalidated": 0
+    "invalidated": 1
+      "hits": 0,
+      "misses": 2,
+      "invalidated": 1,

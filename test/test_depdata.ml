@@ -475,6 +475,54 @@ let test_lookup_composition () =
   check (Alcotest.option (Alcotest.float 1e-9)) "default" (Some 0.01)
     (probability "mystery")
 
+(* --- Depdb.digest ---------------------------------------------------- *)
+
+let digest_records =
+  [
+    Dependency.network ~src:"S1" ~dst:"Internet" ~route:[ "ToR1"; "Core1" ];
+    Dependency.hardware ~hw:"S1" ~hw_type:"Disk" ~dep:"S1-disk";
+    Dependency.software ~pgm:"Riak1" ~host:"S1" ~deps:[ "libc6" ];
+    Dependency.network ~src:"S2" ~dst:"Internet" ~route:[ "ToR1"; "Core2" ];
+  ]
+
+let test_digest_insertion_order_invariant () =
+  let forward = Depdb.create () and backward = Depdb.create () in
+  Depdb.add_all forward digest_records;
+  Depdb.add_all backward (List.rev digest_records);
+  check Alcotest.string "same digest" (Depdb.digest forward)
+    (Depdb.digest backward);
+  check Alcotest.int "hex sha-256" 64 (String.length (Depdb.digest forward))
+
+let test_digest_tracks_content () =
+  let db = Depdb.create () in
+  Depdb.add_all db digest_records;
+  let before = Depdb.digest db in
+  (* Re-adding an existing record is a no-op, so the digest holds. *)
+  Depdb.add db (List.hd digest_records);
+  check Alcotest.string "idempotent add" before (Depdb.digest db);
+  Depdb.add db (Dependency.hardware ~hw:"S2" ~hw_type:"Disk" ~dep:"S2-disk");
+  check Alcotest.bool "new record, new digest" true (before <> Depdb.digest db);
+  check Alcotest.bool "empty differs" true
+    (Depdb.digest (Depdb.create ()) <> before)
+
+let prop_digest_order_invariant =
+  QCheck.Test.make ~name:"digest invariant under source insertion order"
+    ~count:100
+    QCheck.(pair small_int (int_range 1 20))
+    (fun (seed, n) ->
+      let g = Indaas_util.Prng.of_int seed in
+      let records =
+        List.init n (fun i ->
+            Dependency.hardware
+              ~hw:(Printf.sprintf "M%d" (i mod 5))
+              ~hw_type:"Disk"
+              ~dep:(Printf.sprintf "c%d" i))
+      in
+      let a = Depdb.create () and b = Depdb.create () in
+      Depdb.add_all a records;
+      Depdb.add_all b (Indaas_util.Prng.shuffle_list g records);
+      Depdb.digest a = Depdb.digest b)
+
 let () =
   Alcotest.run "depdata"
     [
@@ -501,6 +549,11 @@ let () =
           Alcotest.test_case "serialization" `Quick test_depdb_serialization_roundtrip;
           Alcotest.test_case "merge" `Quick test_depdb_merge;
           Alcotest.test_case "order preserved" `Quick test_depdb_preserves_order;
+          Alcotest.test_case "digest order-invariant" `Quick
+            test_digest_insertion_order_invariant;
+          Alcotest.test_case "digest tracks content" `Quick
+            test_digest_tracks_content;
+          qtest prop_digest_order_invariant;
         ] );
       ( "catalog",
         [

@@ -1,0 +1,596 @@
+module Json = Indaas_util.Json
+module Prng = Indaas_util.Prng
+module Dependency = Indaas_depdata.Dependency
+module Depdb = Indaas_depdata.Depdb
+module Sia_audit = Indaas_sia.Audit
+module Sia_report = Indaas_sia.Report
+module Vclock = Indaas_resilience.Vclock
+module Degradation = Indaas_resilience.Degradation
+module Frame = Indaas_service.Frame
+module Transport = Indaas_service.Transport
+module Snapshot = Indaas_service.Snapshot
+module Cache = Indaas_service.Cache
+module Scheduler = Indaas_service.Scheduler
+module Server = Indaas_service.Server
+module Client = Indaas_service.Client
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let json = Alcotest.testable (Fmt.of_to_string Json.to_string) ( = )
+
+(* --- frames ------------------------------------------------------------- *)
+
+let req ?(id = 1) ?(version = Frame.version) ?(params = Json.Null) meth =
+  { Frame.id; version; meth; params }
+
+let drain dec =
+  let rec go acc =
+    match Frame.next dec with Some j -> go (j :: acc) | None -> List.rev acc
+  in
+  go []
+
+let test_frame_roundtrip () =
+  let r =
+    req ~id:7 "audit"
+      ~params:(Json.Obj [ ("servers", Json.List [ Json.String "S1" ]) ])
+  in
+  let dec = Frame.decoder () in
+  Frame.feed dec (Frame.encode_request r);
+  (match drain dec with
+  | [ j ] ->
+      let r' = Frame.request_of_json j in
+      check Alcotest.int "id" r.Frame.id r'.Frame.id;
+      check Alcotest.int "v" r.Frame.version r'.Frame.version;
+      check Alcotest.string "method" r.Frame.meth r'.Frame.meth;
+      check json "params" r.Frame.params r'.Frame.params
+  | frames -> Alcotest.failf "expected 1 frame, got %d" (List.length frames));
+  check Alcotest.int "drained" 0 (Frame.pending_bytes dec);
+  let ok = { Frame.id = 7; result = Ok (Json.Int 3) } in
+  let err =
+    { Frame.id = 8; result = Error { Frame.code = "c"; message = "m" } }
+  in
+  List.iter
+    (fun r ->
+      let dec = Frame.decoder () in
+      Frame.feed dec (Frame.encode_response r);
+      match drain dec with
+      | [ j ] ->
+          check Alcotest.bool "response roundtrip" true
+            (Frame.response_of_json j = r)
+      | _ -> Alcotest.fail "expected 1 response frame")
+    [ ok; err ]
+
+let test_frame_concatenated () =
+  let frames =
+    List.map
+      (fun i -> Frame.encode_request (req ~id:i "stats"))
+      [ 1; 2; 3 ]
+  in
+  let dec = Frame.decoder () in
+  Frame.feed dec (String.concat "" frames);
+  let ids =
+    List.map (fun j -> (Frame.request_of_json j).Frame.id) (drain dec)
+  in
+  check Alcotest.(list int) "all frames, in order" [ 1; 2; 3 ] ids
+
+let test_frame_split_prefix () =
+  (* The length prefix itself arrives one byte at a time. *)
+  let data = Frame.encode_request (req ~id:9 "stats") in
+  let dec = Frame.decoder () in
+  let got = ref [] in
+  String.iteri
+    (fun i _ ->
+      Frame.feed dec ~off:i ~len:1 data;
+      got := !got @ drain dec)
+    data;
+  (match !got with
+  | [ j ] -> check Alcotest.int "id survives" 9 (Frame.request_of_json j).Frame.id
+  | _ -> Alcotest.fail "expected exactly 1 frame");
+  check Alcotest.int "no leftovers" 0 (Frame.pending_bytes dec)
+
+let prefix_of n =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.to_string b
+
+let protocol_error f =
+  match f () with
+  | _ -> Alcotest.fail "expected Protocol_error"
+  | exception Frame.Protocol_error _ -> ()
+
+let bad_frame f =
+  match f () with
+  | _ -> Alcotest.fail "expected Bad_frame"
+  | exception Frame.Bad_frame _ -> ()
+
+let test_frame_protocol_errors () =
+  protocol_error (fun () -> Frame.frame "");
+  protocol_error (fun () -> Frame.frame (String.make (Frame.max_frame + 1) 'x'));
+  (* Zero, negative and oversized length prefixes poison the decoder. *)
+  List.iter
+    (fun n ->
+      let dec = Frame.decoder () in
+      Frame.feed dec (prefix_of n);
+      protocol_error (fun () -> Frame.next dec))
+    [ 0; -1; Frame.max_frame + 1 ];
+  (* A payload that is not JSON is unrecoverable too... *)
+  let dec = Frame.decoder () in
+  Frame.feed dec (prefix_of 8 ^ "not json");
+  protocol_error (fun () -> Frame.next dec);
+  (* ...and the poisoned decoder refuses everything afterwards. *)
+  protocol_error (fun () -> Frame.feed dec "x");
+  protocol_error (fun () -> Frame.next dec)
+
+let test_frame_malformed_requests () =
+  let parse fields = Frame.request_of_json (Json.Obj fields) in
+  let v = ("v", Json.Int 1) in
+  let id = ("id", Json.Int 1) in
+  let meth = ("method", Json.String "stats") in
+  bad_frame (fun () -> parse [ id; meth ]) (* missing v *);
+  bad_frame (fun () -> parse [ v; meth ]) (* missing id *);
+  bad_frame (fun () -> parse [ v; id ]) (* missing method *);
+  bad_frame (fun () -> parse [ v; id; ("method", Json.Int 3) ]);
+  bad_frame (fun () -> parse [ v; ("id", Json.String "x"); meth ]);
+  bad_frame (fun () -> parse [ v; id; meth; ("extra", Json.Null) ]);
+  bad_frame (fun () -> Frame.request_of_json (Json.List []));
+  (* Responses: exactly one of ok/error. *)
+  bad_frame (fun () -> Frame.response_of_json (Json.Obj [ ("id", Json.Int 1) ]));
+  bad_frame (fun () ->
+      Frame.response_of_json
+        (Json.Obj
+           [ ("id", Json.Int 1); ("ok", Json.Null);
+             ("error", Json.Obj [ ("code", Json.String "c");
+                                  ("message", Json.String "m") ]) ]))
+
+(* qcheck: any request sequence survives any packetization — including
+   1-byte reads, split prefixes and concatenated frames — through the
+   loopback transport. *)
+let gen_requests =
+  QCheck.(
+    list_of_size Gen.(int_range 1 6)
+      (triple small_nat printable_string
+         (small_list (pair (string_of_size Gen.(int_range 1 5)) small_nat))))
+
+let prop_chunked_roundtrip =
+  QCheck.Test.make ~name:"frames reassemble under adversarial chunking"
+    ~count:200
+    QCheck.(pair gen_requests (pair (int_range 1 7) small_nat))
+    (fun (specs, (chunk, skew)) ->
+      let reqs =
+        List.mapi
+          (fun i (id, meth, params) ->
+            req ~id:(id + i) ("m" ^ meth)
+              ~params:
+                (Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) params)))
+          specs
+      in
+      let a, b = Transport.loopback ~chunk:(1 + ((chunk + skew) mod 7)) () in
+      List.iter (fun r -> a.Transport.write (Frame.encode_request r)) reqs;
+      a.Transport.close ();
+      let dec = Frame.decoder () in
+      let buf = Bytes.create 3 in
+      let got = ref [] in
+      let rec pump () =
+        got := !got @ drain dec;
+        let n = b.Transport.read buf 0 (Bytes.length buf) in
+        if n > 0 then begin
+          Frame.feed dec (Bytes.sub_string buf 0 n);
+          pump ()
+        end
+      in
+      pump ();
+      got := !got @ drain dec;
+      !got = List.map Frame.request_to_json reqs
+      && Frame.pending_bytes dec = 0)
+
+(* --- snapshot store ------------------------------------------------------ *)
+
+let record i =
+  Dependency.hardware
+    ~hw:(Printf.sprintf "S%d" (1 + (i mod 3)))
+    ~hw_type:"Disk"
+    ~dep:(Printf.sprintf "c%d" i)
+
+let test_snapshot_versions_and_deltas () =
+  let store = Snapshot.create () in
+  let v1 = Snapshot.submit store ~snapshot:"a" ~source:"net" [ record 0 ] in
+  check Alcotest.int "first version" 1 v1.Snapshot.version;
+  check Alcotest.int "records" 1 (Depdb.size v1.Snapshot.db);
+  let v2 =
+    Snapshot.submit store ~snapshot:"a" ~source:"hw" [ record 1; record 2 ]
+  in
+  check Alcotest.int "second version" 2 v2.Snapshot.version;
+  check Alcotest.int "union of sources" 3 (Depdb.size v2.Snapshot.db);
+  check
+    Alcotest.(list (pair string int))
+    "sources sorted" [ ("hw", 2); ("net", 1) ] v2.Snapshot.sources;
+  (* Replacing one source touches only that source's records. *)
+  let v3 = Snapshot.submit store ~snapshot:"a" ~source:"hw" [ record 3 ] in
+  check Alcotest.int "replaced, not merged" 2 (Depdb.size v3.Snapshot.db);
+  (* Submitting an empty list drops the source. *)
+  let v4 = Snapshot.submit store ~snapshot:"a" ~source:"hw" [] in
+  check
+    Alcotest.(list (pair string int))
+    "source dropped" [ ("net", 1) ] v4.Snapshot.sources;
+  check Alcotest.bool "digest tracks content" true
+    (v4.Snapshot.digest <> v3.Snapshot.digest);
+  check Alcotest.bool "other snapshots untouched" true
+    (Snapshot.get store ~snapshot:"b" = None);
+  check Alcotest.(list string) "names" [ "a" ]
+    (Snapshot.names store)
+
+let test_snapshot_digest_source_invariant () =
+  (* The digest is a function of the record set, not of how it was
+     split across sources. *)
+  let one = Snapshot.create () and two = Snapshot.create () in
+  let all = [ record 0; record 1; record 2; record 3 ] in
+  let v_one = Snapshot.submit one ~snapshot:"s" ~source:"only" all in
+  ignore (Snapshot.submit two ~snapshot:"s" ~source:"x" [ record 2; record 3 ]);
+  let v_two =
+    Snapshot.submit two ~snapshot:"s" ~source:"y" [ record 0; record 1 ]
+  in
+  check Alcotest.string "same digest" v_one.Snapshot.digest
+    v_two.Snapshot.digest
+
+(* --- result cache -------------------------------------------------------- *)
+
+let key ?(snap = "d1") ?(spec = "s1") ?(engine = "auto") ?budget () =
+  { Cache.snapshot_digest = snap; spec_digest = spec; engine; budget }
+
+let test_cache_hits_and_misses () =
+  let c = Cache.create () in
+  check Alcotest.bool "cold miss" true (Cache.find c (key ()) = None);
+  Cache.add c (key ()) (Json.Int 1);
+  check json "hit" (Json.Int 1) (Option.get (Cache.find c (key ())));
+  (* Engine and budget are part of the key. *)
+  check Alcotest.bool "engine differs" true
+    (Cache.find c (key ~engine:"bdd" ()) = None);
+  check Alcotest.bool "budget differs" true
+    (Cache.find c (key ~budget:10 ()) = None);
+  let s = Cache.stats c in
+  check Alcotest.int "hits" 1 s.Cache.hits;
+  check Alcotest.int "misses" 3 s.Cache.misses;
+  check Alcotest.int "entries" 1 s.Cache.entries
+
+let test_cache_invalidation_is_scoped () =
+  let c = Cache.create () in
+  Cache.add c (key ~snap:"old" ~spec:"a" ()) Json.Null;
+  Cache.add c (key ~snap:"old" ~spec:"b" ()) Json.Null;
+  Cache.add c (key ~snap:"other" ~spec:"a" ()) Json.Null;
+  check Alcotest.int "exactly the affected entries" 2
+    (Cache.invalidate_snapshot c ~digest:"old");
+  check Alcotest.bool "survivor still cached" true
+    (Cache.find c (key ~snap:"other" ~spec:"a" ()) <> None);
+  check Alcotest.int "gone" 0
+    (Cache.invalidate_snapshot c ~digest:"old");
+  check Alcotest.int "accounted" 2 (Cache.stats c).Cache.invalidated
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c (key ~spec:"a" ()) (Json.Int 1);
+  Cache.add c (key ~spec:"b" ()) (Json.Int 2);
+  ignore (Cache.find c (key ~spec:"a" ()));
+  (* "b" is now least recently used and goes first. *)
+  Cache.add c (key ~spec:"c" ()) (Json.Int 3);
+  check Alcotest.bool "lru evicted" true (Cache.find c (key ~spec:"b" ()) = None);
+  check Alcotest.bool "recent kept" true (Cache.find c (key ~spec:"a" ()) <> None);
+  check Alcotest.int "evictions counted" 1 (Cache.stats c).Cache.evicted
+
+(* --- scheduler ------------------------------------------------------------ *)
+
+let test_scheduler_overload_shedding () =
+  let s = Scheduler.create ~max_queue:2 () in
+  let ran = ref [] and shed = ref [] in
+  for i = 1 to 3 do
+    Scheduler.submit s ~cost:1.0
+      ~run:(fun () -> ran := i :: !ran)
+      ~shed:(fun ~reason -> shed := (i, reason) :: !shed)
+      ()
+  done;
+  check Alcotest.(list (pair int string)) "third shed at admission"
+    [ (3, "overloaded") ] !shed;
+  Scheduler.run_all s;
+  check Alcotest.(list int) "fifo order" [ 1; 2 ] (List.rev !ran);
+  let st = Scheduler.stats s in
+  check Alcotest.int "submitted" 3 st.Scheduler.submitted;
+  check Alcotest.int "served" 2 st.Scheduler.served;
+  check Alcotest.int "shed" 1 st.Scheduler.shed_overload;
+  check Alcotest.bool "degradation recorded" true
+    (match Scheduler.degradation s with
+    | Some d -> Degradation.degraded d
+    | None -> false)
+
+let test_scheduler_deadline_on_virtual_clock () =
+  let s = Scheduler.create () in
+  let outcomes = ref [] in
+  let submit i ?deadline () =
+    Scheduler.submit s ?deadline ~cost:1.0
+      ~run:(fun () -> outcomes := (i, "ran") :: !outcomes)
+      ~shed:(fun ~reason -> outcomes := (i, reason) :: !outcomes)
+      ()
+  in
+  submit 1 ();
+  submit 2 ~deadline:0.5 ();
+  submit 3 ~deadline:2.0 ();
+  Scheduler.run_all s;
+  (* Job 1 advances the clock to 1.0 > 0.5: job 2's deadline expired
+     while it queued; job 3's did not. *)
+  check
+    Alcotest.(list (pair int string))
+    "deadline arithmetic"
+    [ (1, "ran"); (2, "deadline-exceeded"); (3, "ran") ]
+    (List.rev !outcomes);
+  check (Alcotest.float 1e-9) "clock advanced by served costs" 2.0
+    (Vclock.now (Scheduler.clock s));
+  check Alcotest.int "shed_deadline" 1 (Scheduler.stats s).Scheduler.shed_deadline
+
+(* --- server ---------------------------------------------------------------- *)
+
+let table1 =
+  String.concat "\n"
+    [
+      {|<src="S1" dst="Internet" route="ToR1,Core1"/>|};
+      {|<src="S1" dst="Internet" route="ToR1,Core2"/>|};
+      {|<src="S2" dst="Internet" route="ToR1,Core1"/>|};
+      {|<src="S2" dst="Internet" route="ToR1,Core2"/>|};
+      {|<hw="S1" type="Disk" dep="S1-disk"/>|};
+      {|<hw="S2" type="Disk" dep="S2-disk"/>|};
+      {|<pgm="Riak1" hw="S1" dep="libc6"/>|};
+      {|<pgm="Riak2" hw="S2" dep="libc6"/>|};
+    ]
+
+let ok_exn (r : Frame.response) =
+  match r.Frame.result with
+  | Ok payload -> payload
+  | Error e -> Alcotest.failf "unexpected error %s: %s" e.Frame.code e.Frame.message
+
+let error_code (r : Frame.response) =
+  match r.Frame.result with
+  | Ok _ -> Alcotest.fail "expected an error response"
+  | Error e -> e.Frame.code
+
+let submitted_server () =
+  let srv = Server.create () in
+  ignore
+    (ok_exn
+       (Server.handle srv
+          (Client.submit_deps ~id:1 ~source:"db" ~records:table1 ())));
+  srv
+
+let audit_req ~id ?options servers = Client.audit ~id ?options ~servers ()
+
+let test_server_audit_matches_batch () =
+  let srv = submitted_server () in
+  let served =
+    ok_exn (Server.handle srv (audit_req ~id:2 [ "S1"; "S2" ]))
+  in
+  (* The serving path answers with exactly the batch pipeline's report
+     JSON: same DepDB, same request defaults, same seed (42). *)
+  let direct =
+    let db = Depdb.of_string table1 in
+    let request =
+      Sia_audit.request ~required:1
+        ~algorithm:(Sia_audit.Auto_rg { max_size = None; max_family = None })
+        ~ranking:Sia_audit.Size_based [ "S1"; "S2" ]
+    in
+    Sia_report.deployment_to_json
+      (Sia_audit.audit ~rng:(Prng.of_int 42) db request)
+  in
+  check json "byte-identical report" direct served
+
+let test_server_caches_repeats () =
+  let srv = submitted_server () in
+  let first = ok_exn (Server.handle srv (audit_req ~id:2 [ "S1"; "S2" ])) in
+  let second = ok_exn (Server.handle srv (audit_req ~id:3 [ "S1"; "S2" ])) in
+  check json "same payload" first second;
+  let s = Server.cache_stats srv in
+  check Alcotest.int "one computation" 1 s.Cache.misses;
+  check Alcotest.int "one hit" 1 s.Cache.hits;
+  (* A different spec is a different entry. *)
+  let options = { Client.audit_options with required = Some 2 } in
+  ignore (ok_exn (Server.handle srv (audit_req ~id:4 ~options [ "S1"; "S2" ])));
+  check Alcotest.int "distinct spec misses" 2 (Server.cache_stats srv).Cache.misses
+
+let test_server_delta_invalidates_exactly () =
+  let srv = Server.create () in
+  let submit ~id ~snapshot ~source records =
+    ok_exn (Server.handle srv (Client.submit_deps ~id ~snapshot ~source ~records ()))
+  in
+  ignore (submit ~id:1 ~snapshot:"a" ~source:"db" table1);
+  ignore (submit ~id:2 ~snapshot:"b" ~source:"db" table1);
+  let audit ~id snapshot =
+    let options = { Client.audit_options with snapshot = Some snapshot } in
+    ok_exn (Server.handle srv (audit_req ~id ~options [ "S1"; "S2" ]))
+  in
+  ignore (audit ~id:3 "a");
+  ignore (audit ~id:4 "b");
+  (* A delta to snapshot "a" orphans exactly its entry... *)
+  let result =
+    submit ~id:5 ~snapshot:"a" ~source:"hw2"
+      {|<hw="S1" type="NIC" dep="S1-nic"/>|}
+  in
+  check json "one entry invalidated" (Json.Int 1)
+    (Option.get (Json.member "invalidated" result));
+  (* ...so "b" still hits while "a" recomputes. *)
+  ignore (audit ~id:6 "b");
+  ignore (audit ~id:7 "a");
+  let s = Server.cache_stats srv in
+  check Alcotest.int "b cached across the delta" 1 s.Cache.hits;
+  check Alcotest.int "a recomputed" 3 s.Cache.misses;
+  (* A no-op delta (same record set) keeps the digest and the cache. *)
+  let result = submit ~id:8 ~snapshot:"b" ~source:"db" table1 in
+  check json "no-op delta invalidates nothing" (Json.Int 0)
+    (Option.get (Json.member "invalidated" result));
+  ignore (audit ~id:9 "b");
+  check Alcotest.int "still cached" 2 (Server.cache_stats srv).Cache.hits
+
+let test_server_error_responses () =
+  let srv = submitted_server () in
+  let code req = error_code (Server.handle srv req) in
+  check Alcotest.string "unknown method" "unknown-method"
+    (code (req ~id:2 "frobnicate"));
+  check Alcotest.string "unsupported version" "unsupported-version"
+    (code (req ~id:3 ~version:2 "stats"));
+  check Alcotest.string "unknown snapshot" "unknown-snapshot"
+    (code
+       (audit_req ~id:4
+          ~options:{ Client.audit_options with snapshot = Some "nope" }
+          [ "S1" ]));
+  check Alcotest.string "missing servers" "bad-request"
+    (code (req ~id:5 "audit"));
+  check Alcotest.string "empty servers" "bad-request"
+    (code (req ~id:6 "audit" ~params:(Json.Obj [ ("servers", Json.List []) ])));
+  check Alcotest.string "unknown server" "bad-request"
+    (code (audit_req ~id:7 [ "S1"; "Nope" ]));
+  check Alcotest.string "bad engine" "bad-request"
+    (code
+       (audit_req ~id:8
+          ~options:{ Client.audit_options with engine = Some "quantum" }
+          [ "S1" ]));
+  check Alcotest.string "unparsable records" "bad-request"
+    (error_code
+       (Server.handle srv
+          (Client.submit_deps ~id:9 ~source:"db" ~records:"<garbage" ())))
+
+(* One-shot serving over the loopback: write the whole request stream,
+   serve, then decode the whole response stream. *)
+let serve_bytes ?config bytes =
+  let a, b = Transport.loopback () in
+  a.Transport.write bytes;
+  a.Transport.close ();
+  let srv = Server.create ?config () in
+  Server.serve srv b;
+  let buf = Bytes.create 4096 in
+  let out = Buffer.create 256 in
+  let rec pump () =
+    let n = a.Transport.read buf 0 (Bytes.length buf) in
+    if n > 0 then begin
+      Buffer.add_subbytes out buf 0 n;
+      pump ()
+    end
+  in
+  pump ();
+  Buffer.contents out
+
+let encode_requests reqs =
+  String.concat "" (List.map Frame.encode_request reqs)
+
+let standard_session =
+  lazy
+    (encode_requests
+       [
+         Client.submit_deps ~id:1 ~source:"db" ~records:table1 ();
+         audit_req ~id:2 [ "S1"; "S2" ];
+         audit_req ~id:3 [ "S1"; "S2" ];
+         Client.stats ~id:4;
+         Client.shutdown ~id:5;
+       ])
+
+let test_serve_end_to_end () =
+  let responses =
+    Client.decode_responses (serve_bytes (Lazy.force standard_session))
+  in
+  check Alcotest.(list int) "arrival order, one response each"
+    [ 1; 2; 3; 4; 5 ]
+    (List.map (fun (r : Frame.response) -> r.Frame.id) responses);
+  List.iter (fun r -> ignore (ok_exn r)) responses;
+  let payload i = ok_exn (List.nth responses i) in
+  check json "repeat served the cached payload" (payload 1) (payload 2);
+  let stats = payload 3 in
+  let cache = Option.get (Json.member "cache" stats) in
+  check json "hit visible in stats" (Json.Int 1)
+    (Option.get (Json.member "hits" cache))
+
+let test_serve_deterministic () =
+  let bytes = Lazy.force standard_session in
+  check Alcotest.string "responses byte-identical across runs"
+    (serve_bytes bytes) (serve_bytes bytes)
+
+let test_serve_truncated_stream () =
+  let bytes = Lazy.force standard_session in
+  let truncated = String.sub bytes 0 (String.length bytes - 3) in
+  let responses = Client.decode_responses (serve_bytes truncated) in
+  (* Complete frames are still answered; the torn tail earns a final
+     id = -1 bad-frame error. *)
+  let last = List.nth responses (List.length responses - 1) in
+  check Alcotest.int "sentinel id" (-1) last.Frame.id;
+  check Alcotest.string "bad-frame" "bad-frame" (error_code last);
+  check Alcotest.int "other requests still served"
+    4
+    (List.length (List.filter (fun (r : Frame.response) ->
+         match r.Frame.result with Ok _ -> true | Error _ -> false) responses))
+
+let test_serve_sheds_over_capacity () =
+  let config = { Server.default_config with max_queue = 2 } in
+  let bytes =
+    encode_requests
+      [
+        audit_req ~id:1 [ "S1" ];
+        audit_req ~id:2 [ "S1"; "S2" ];
+        audit_req ~id:3 [ "S2" ];
+      ]
+  in
+  let responses = Client.decode_responses (serve_bytes ~config bytes) in
+  let codes =
+    List.map
+      (fun (r : Frame.response) ->
+        match r.Frame.result with
+        | Ok _ -> "ok"
+        | Error e -> e.Frame.code)
+      responses
+  in
+  (* No snapshot was ever submitted, so admitted requests fail with
+     unknown-snapshot — but the third never even runs. *)
+  check Alcotest.(list string) "admission control"
+    [ "unknown-snapshot"; "unknown-snapshot"; "overloaded" ] codes
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "frame",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "concatenated" `Quick test_frame_concatenated;
+          Alcotest.test_case "split prefix" `Quick test_frame_split_prefix;
+          Alcotest.test_case "protocol errors" `Quick test_frame_protocol_errors;
+          Alcotest.test_case "malformed requests" `Quick
+            test_frame_malformed_requests;
+          qtest prop_chunked_roundtrip;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "versions and deltas" `Quick
+            test_snapshot_versions_and_deltas;
+          Alcotest.test_case "digest source-invariant" `Quick
+            test_snapshot_digest_source_invariant;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hits and misses" `Quick test_cache_hits_and_misses;
+          Alcotest.test_case "scoped invalidation" `Quick
+            test_cache_invalidation_is_scoped;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "overload shedding" `Quick
+            test_scheduler_overload_shedding;
+          Alcotest.test_case "virtual deadlines" `Quick
+            test_scheduler_deadline_on_virtual_clock;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "audit matches batch" `Quick
+            test_server_audit_matches_batch;
+          Alcotest.test_case "caches repeats" `Quick test_server_caches_repeats;
+          Alcotest.test_case "delta invalidation" `Quick
+            test_server_delta_invalidates_exactly;
+          Alcotest.test_case "error responses" `Quick test_server_error_responses;
+          Alcotest.test_case "serve end to end" `Quick test_serve_end_to_end;
+          Alcotest.test_case "serve deterministic" `Quick test_serve_deterministic;
+          Alcotest.test_case "truncated stream" `Quick test_serve_truncated_stream;
+          Alcotest.test_case "overload over the wire" `Quick
+            test_serve_sheds_over_capacity;
+        ] );
+    ]

@@ -302,6 +302,38 @@ let test_json_nonfinite_rejected () =
   Alcotest.check_raises "inf" (Invalid_argument "Json: non-finite float")
     (fun () -> ignore (Json.to_string (Json.Float Float.infinity)))
 
+let parsed_string input =
+  match Json.of_string input with
+  | Json.String s -> s
+  | _ -> Alcotest.fail "expected string"
+
+let test_json_surrogate_pairs () =
+  (* U+1F600 is the surrogate pair D83D DE00 in UTF-16,
+     f0 9f 98 80 in UTF-8. *)
+  check Alcotest.string "astral pair" "\xf0\x9f\x98\x80"
+    (parsed_string {|"\uD83D\uDE00"|});
+  (* U+1D11E: D834 DD1E -> f0 9d 84 9e. *)
+  check Alcotest.string "pair in context" "a\xf0\x9d\x84\x9eb"
+    (parsed_string {|"a\uD834\uDD1Eb"|});
+  check Alcotest.string "lowercase hex" "\xf0\x9f\x98\x80"
+    (parsed_string {|"\ud83d\ude00"|});
+  (* BMP escapes are unaffected. *)
+  check Alcotest.string "bmp" "\xe2\x82\xac" (parsed_string {|"\u20AC"|})
+
+let parse_fails input =
+  match Json.of_string input with
+  | exception Json.Parse_error _ -> true
+  | _ -> false
+
+let test_json_lone_surrogates_rejected () =
+  check Alcotest.bool "lone high at end" true (parse_fails {|"\uD83D"|});
+  check Alcotest.bool "high + ordinary char" true (parse_fails {|"\uD83Dx"|});
+  check Alcotest.bool "high + non-u escape" true (parse_fails {|"\uD83D\n"|});
+  check Alcotest.bool "high + high" true (parse_fails {|"\uD83D\uD83D"|});
+  check Alcotest.bool "lone low" true (parse_fails {|"\uDE00"|});
+  check Alcotest.bool "low then high" true (parse_fails {|"\uDE00\uD83D"|});
+  check Alcotest.bool "truncated second escape" true (parse_fails {|"\uD83D\uDE"|})
+
 (* --- qcheck properties --------------------------------------------- *)
 
 let prop_int_in_range =
@@ -380,6 +412,9 @@ let () =
           Alcotest.test_case "string escaping" `Quick test_json_string_escaping;
           Alcotest.test_case "compound" `Quick test_json_compound;
           Alcotest.test_case "non-finite rejected" `Quick test_json_nonfinite_rejected;
+          Alcotest.test_case "surrogate pairs" `Quick test_json_surrogate_pairs;
+          Alcotest.test_case "lone surrogates rejected" `Quick
+            test_json_lone_surrogates_rejected;
         ] );
       ( "timing",
         [
